@@ -1,0 +1,70 @@
+//! Criterion microbenchmarks of the graph formats: CSDB construction,
+//! row access, operators, and CSR comparison points.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use omega_graph::{Csdb, Csr, RmatConfig};
+
+fn csr() -> Csr {
+    RmatConfig::social(1 << 13, 120_000, 3).generate_csr().unwrap()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let g = csr();
+    let mut group = c.benchmark_group("format_build");
+    group.bench_function("csdb_from_csr", |b| b.iter(|| Csdb::from_csr(&g).unwrap()));
+    group.bench_function("csr_transpose", |b| b.iter(|| g.transpose()));
+    group.finish();
+}
+
+fn bench_row_access(c: &mut Criterion) {
+    let g = csr();
+    let csdb = Csdb::from_csr(&g).unwrap();
+    let mut group = c.benchmark_group("row_access");
+    group.bench_function("csr_full_scan", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for r in 0..g.rows() {
+                acc += g.row(r).0.len() as u64;
+            }
+            acc
+        })
+    });
+    group.bench_function("csdb_full_scan", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for r in 0..csdb.rows() {
+                acc += csdb.row(r).0.len() as u64;
+            }
+            acc
+        })
+    });
+    group.bench_function("csdb_deg_ptr", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for r in (0..csdb.rows()).step_by(7) {
+                acc += csdb.deg_ptr(r);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_operators(c: &mut Criterion) {
+    let g = csr();
+    let csdb = Csdb::from_csr(&g).unwrap();
+    let mut group = c.benchmark_group("operators");
+    group.sample_size(20);
+    group.bench_function("csdb_add", |b| b.iter(|| csdb.add(&csdb).unwrap()));
+    group.bench_function("csdb_scale", |b| {
+        b.iter(|| {
+            let mut m = csdb.clone();
+            m.scale(0.5);
+            m
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_row_access, bench_operators);
+criterion_main!(benches);

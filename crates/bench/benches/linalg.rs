@@ -1,0 +1,39 @@
+//! Criterion microbenchmarks of the dense linear-algebra substrate:
+//! GEMM, Householder QR and one-sided Jacobi SVD at the shapes the
+//! randomized t-SVD uses.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use omega_linalg::{gaussian_matrix, gemm, gemm_tn, qr_thin, svd_jacobi};
+
+fn bench_gemm(c: &mut Criterion) {
+    let a = gaussian_matrix(2_000, 64, 1);
+    let b = gaussian_matrix(64, 64, 2);
+    let mut group = c.benchmark_group("gemm");
+    group.sample_size(20);
+    group.bench_function("tall_2000x64_x_64x64", |bench| {
+        bench.iter(|| gemm(&a, &b).unwrap())
+    });
+    group.bench_function("gram_tn_2000x64", |bench| {
+        bench.iter(|| gemm_tn(&a, &a).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_qr(c: &mut Criterion) {
+    let a = gaussian_matrix(2_000, 64, 3);
+    let mut group = c.benchmark_group("qr");
+    group.sample_size(20);
+    group.bench_function("thin_2000x64", |b| b.iter(|| qr_thin(&a).unwrap()));
+    group.finish();
+}
+
+fn bench_svd(c: &mut Criterion) {
+    let a = gaussian_matrix(512, 32, 4);
+    let mut group = c.benchmark_group("svd");
+    group.sample_size(10);
+    group.bench_function("jacobi_512x32", |b| b.iter(|| svd_jacobi(&a).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_qr, bench_svd);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion microbenchmarks of the SpMM engine: allocation schemes, the
+//! charged kernel under each memory mode, and the reference SpMV.
+//!
+//! These measure real wall-clock time of the reproduction's kernels
+//! (simulated time is the experiment metric; wall time validates the
+//! implementation is itself efficient).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use omega_graph::{Csdb, RmatConfig};
+use omega_hetmem::{MemSystem, Topology};
+use omega_linalg::gaussian_matrix;
+use omega_spmm::{AllocScheme, SpmmConfig, SpmmEngine};
+
+fn graph(n: u32, e: u64) -> Csdb {
+    Csdb::from_csr(&RmatConfig::social(n, e, 1).generate_csr().unwrap()).unwrap()
+}
+
+fn bench_alloc_schemes(c: &mut Criterion) {
+    let g = graph(1 << 13, 120_000);
+    let mut group = c.benchmark_group("alloc");
+    for scheme in [
+        AllocScheme::RoundRobin,
+        AllocScheme::WaTA,
+        AllocScheme::eata_default(),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.label()),
+            &scheme,
+            |b, &s| b.iter(|| s.allocate(&g, 30)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_spmm_modes(c: &mut Criterion) {
+    let g = graph(1 << 11, 30_000);
+    let b = gaussian_matrix(g.rows() as usize, 32, 2);
+    let mut group = c.benchmark_group("spmm_engine");
+    group.sample_size(10);
+    for (name, cfg) in [
+        ("omega", SpmmConfig::omega(8)),
+        ("dram", SpmmConfig::omega_dram(8)),
+        ("pm", SpmmConfig::omega_pm(8)),
+        ("no_wofp_no_asl", SpmmConfig::omega(8).with_wofp(None).with_asl(None)),
+    ] {
+        group.bench_function(name, |bencher| {
+            bencher.iter(|| {
+                let eng = SpmmEngine::new(
+                    MemSystem::new(Topology::paper_machine_scaled(24 << 20)),
+                    cfg,
+                )
+                .unwrap();
+                eng.spmm(&g, &b).unwrap().makespan
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_spmv(c: &mut Criterion) {
+    let g = graph(1 << 12, 60_000);
+    let x = vec![1.0f32; g.cols() as usize];
+    c.bench_function("csdb_spmv", |b| b.iter(|| g.spmv(&x).unwrap()));
+}
+
+criterion_group!(benches, bench_alloc_schemes, bench_spmm_modes, bench_spmv);
+criterion_main!(benches);

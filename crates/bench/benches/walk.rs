@@ -1,0 +1,60 @@
+//! Criterion microbenchmarks of the random-walk substrate: alias table
+//! construction/sampling, walk generation and one SGNS epoch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use omega_graph::RmatConfig;
+use omega_walk::{pairs_from_walks, AliasTable, SgnsConfig, SgnsModel, WalkConfig, Walker};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_alias(c: &mut Criterion) {
+    let weights: Vec<f32> = (1..=512).map(|i| i as f32).collect();
+    let table = AliasTable::new(&weights);
+    let mut group = c.benchmark_group("alias");
+    group.bench_function("build_512", |b| b.iter(|| AliasTable::new(&weights)));
+    group.bench_function("sample_1k", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            (0..1_000).map(|_| table.sample(&mut rng)).sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_walks(c: &mut Criterion) {
+    let g = RmatConfig::social(1 << 11, 30_000, 5).generate_csr().unwrap();
+    let mut group = c.benchmark_group("walks");
+    group.sample_size(10);
+    group.bench_function("deepwalk_corpus", |b| {
+        let walker = Walker::new(&g, WalkConfig::deepwalk(2, 20, 7));
+        b.iter(|| walker.generate_all())
+    });
+    group.finish();
+}
+
+fn bench_sgns(c: &mut Criterion) {
+    let g = RmatConfig::social(512, 5_000, 6).generate_csr().unwrap();
+    let walker = Walker::new(&g, WalkConfig::deepwalk(2, 12, 8));
+    let walks = walker.generate_all();
+    let pairs = pairs_from_walks(&walks, 3);
+    let unigram = omega_walk::corpus::unigram_counts(&walks, g.rows());
+    let mut group = c.benchmark_group("sgns");
+    group.sample_size(10);
+    group.bench_function("one_epoch", |b| {
+        b.iter(|| {
+            let mut model = SgnsModel::new(
+                g.rows(),
+                SgnsConfig {
+                    dim: 16,
+                    epochs: 1,
+                    ..SgnsConfig::default()
+                },
+            );
+            model.train(&pairs, &unigram)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_alias, bench_walks, bench_sgns);
+criterion_main!(benches);

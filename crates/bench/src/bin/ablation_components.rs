@@ -1,0 +1,63 @@
+//! Ablation: the full factorial of OMeGa's four components (EaTA, WoFP,
+//! NaDP, ASL) on one SpMM over the PK twin — the design-choice
+//! decomposition DESIGN.md calls out, beyond the paper's one-at-a-time
+//! ablations (Table II, Fig. 14, Fig. 15).
+
+use omega_bench::{experiment_topology, fmt_time, load, print_table, DIM, THREADS};
+use omega_graph::{Csdb, Dataset};
+use omega_hetmem::MemSystem;
+use omega_linalg::gaussian_matrix;
+use omega_spmm::{AllocScheme, AslConfig, SpmmConfig, SpmmEngine, WofpConfig};
+
+fn main() {
+    let topo = experiment_topology();
+    let g = load(Dataset::Pk);
+    let csdb = Csdb::from_csr(&g).unwrap();
+    let b = gaussian_matrix(g.rows() as usize, DIM, 0xab1a);
+
+    let mut rows = Vec::new();
+    let mut baseline = None;
+    for mask in 0..16u32 {
+        let eata = mask & 1 != 0;
+        let wofp = mask & 2 != 0;
+        let nadp = mask & 4 != 0;
+        let asl = mask & 8 != 0;
+        let cfg = SpmmConfig::omega(THREADS)
+            .with_alloc(if eata {
+                AllocScheme::eata_default()
+            } else {
+                AllocScheme::WaTA
+            })
+            .with_wofp(wofp.then(WofpConfig::default))
+            .with_nadp(nadp)
+            .with_asl(asl.then(AslConfig::default));
+        let run = SpmmEngine::new(MemSystem::new(topo.clone()), cfg)
+            .unwrap()
+            .spmm(&csdb, &b)
+            .unwrap();
+        let t = run.makespan;
+        if mask == 0 {
+            baseline = Some(t);
+        }
+        let onoff = |b: bool| if b { "on" } else { "-" };
+        rows.push(vec![
+            onoff(eata).to_string(),
+            onoff(wofp).to_string(),
+            onoff(nadp).to_string(),
+            onoff(asl).to_string(),
+            fmt_time(Some(t)),
+            format!("{:.2}x", baseline.unwrap().ratio(t)),
+        ]);
+    }
+
+    print_table(
+        "Component ablation: one SpMM on the PK twin (speedup vs all-off)",
+        &["EaTA", "WoFP", "NaDP", "ASL", "time", "speedup"],
+        &rows,
+    );
+    println!(
+        "\nNote: with ASL active the dense operand is staged in DRAM, so WoFP \
+         adds nothing on top (see DESIGN.md section 6.2); the WoFP rows matter \
+         in the ASL-off half of the table."
+    );
+}

@@ -1,0 +1,88 @@
+//! Forward-looking ablation: OMeGa on CXL-attached memory instead of
+//! Optane PM — the paper's concluding discussion ("The rise of CXL enables
+//! the integration of PM into scalable memory architectures").
+//!
+//! Same machine shape, same capacities; only the PM slots' cost model
+//! changes to contemporary CXL.mem expander numbers (symmetric read/write,
+//! no contention collapse). The interesting questions: how much closer
+//! does the hetero system get to DRAM, and how much less do OMeGa's
+//! optimisations matter when the capacity tier stops being hostile?
+
+use omega_bench::{experiment_topology, fmt_time, load, print_table, DIM, THREADS};
+use omega_graph::{Csdb, Dataset};
+use omega_hetmem::{BandwidthModel, MemSystem, SimDuration};
+use omega_linalg::gaussian_matrix;
+use omega_spmm::{SpmmConfig, SpmmEngine};
+
+fn spmm(model: BandwidthModel, cfg: SpmmConfig, csdb: &Csdb, b: &omega_linalg::DenseMatrix) -> SimDuration {
+    let sys = MemSystem::with_model(experiment_topology(), model);
+    SpmmEngine::new(sys, cfg)
+        .unwrap()
+        .spmm(csdb, b)
+        .unwrap()
+        .makespan
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    // The four twins whose DRAM-only reference fits the machine.
+    for &d in &[Dataset::Pk, Dataset::Lj, Dataset::Or, Dataset::Tw] {
+        let g = load(d);
+        let csdb = Csdb::from_csr(&g).unwrap();
+        let b = gaussian_matrix(g.rows() as usize, DIM, 0xc1);
+
+        // Full system and the PM-resident (streaming-off) regime on both
+        // capacity tiers, plus the DRAM ideal for reference.
+        let optane_full = spmm(BandwidthModel::paper_machine(), SpmmConfig::omega(THREADS), &csdb, &b);
+        let cxl_full = spmm(BandwidthModel::cxl_machine(), SpmmConfig::omega(THREADS), &csdb, &b);
+        let optane_resident = spmm(
+            BandwidthModel::paper_machine(),
+            SpmmConfig::omega(THREADS).with_asl(None),
+            &csdb,
+            &b,
+        );
+        let cxl_resident = spmm(
+            BandwidthModel::cxl_machine(),
+            SpmmConfig::omega(THREADS).with_asl(None),
+            &csdb,
+            &b,
+        );
+        let dram = spmm(
+            BandwidthModel::paper_machine(),
+            SpmmConfig::omega_dram(THREADS),
+            &csdb,
+            &b,
+        );
+
+        rows.push(vec![
+            d.label().to_string(),
+            fmt_time(Some(dram)),
+            fmt_time(Some(optane_full)),
+            fmt_time(Some(cxl_full)),
+            fmt_time(Some(optane_resident)),
+            fmt_time(Some(cxl_resident)),
+            format!("{:.2}x", optane_resident.ratio(cxl_resident)),
+        ]);
+    }
+
+    print_table(
+        "CXL ablation: one SpMM (d=64, 30 threads)",
+        &[
+            "graph",
+            "DRAM ideal",
+            "OMeGa/Optane",
+            "OMeGa/CXL",
+            "resident/Optane",
+            "resident/CXL",
+            "CXL gain (resident)",
+        ],
+        &rows,
+    );
+    println!(
+        "\nReading: with full streaming both tiers sit near the DRAM ideal; in \
+         the capacity-resident regime CXL's symmetric, collapse-free memory \
+         shrinks the penalty of skipping the staging machinery — the paper's \
+         expectation that OMeGa 'is equally effective on other PM products \
+         like CXL' while the DRAM-PM gap itself narrows."
+    );
+}

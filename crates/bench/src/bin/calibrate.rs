@@ -1,0 +1,186 @@
+//! Calibration sweep: prints the key ratios the paper reports so the cost
+//! model's constants can be checked at a glance. Not a paper artifact —
+//! a development/diagnostic harness.
+//!
+//! Run: `OMEGA_SCALE=4000 cargo run -p omega-bench --release --bin calibrate`
+
+use omega::{Omega, OmegaConfig, SystemVariant};
+use omega_baselines::dist::{DistConfig, DistDglLike, DistGerLike};
+use omega_baselines::prone_like::ProneBaseline;
+use omega_baselines::spmm_systems::{omega_spmm_time, FusedMm, SemSpmm};
+use omega_baselines::ssd_systems::{GinexLike, MariusLike, SsdSystemConfig};
+use omega_bench::{experiment_topology, fmt_time, load, DIM, THREADS};
+use omega_graph::{Csdb, Dataset};
+use omega_hetmem::MemSystem;
+use omega_linalg::gaussian_matrix;
+use omega_spmm::{AllocScheme, SpmmConfig, SpmmEngine};
+
+fn main() {
+    let topo = experiment_topology();
+    let g = load(Dataset::Pk);
+    println!(
+        "PK twin: |V|={} nnz={} maxdeg={}",
+        g.rows(),
+        g.nnz(),
+        g.max_degree()
+    );
+
+    let base = OmegaConfig::default()
+        .with_topology(topo.clone())
+        .with_threads(THREADS)
+        .with_dim(DIM);
+
+    let run = |v: SystemVariant| -> Option<f64> {
+        let omega = Omega::new(base.clone().with_variant(v)).unwrap();
+        match omega.embed(&g) {
+            Ok(r) => Some(r.total_time().as_secs_f64()),
+            Err(e) if e.is_oom() => None,
+            Err(e) => panic!("{e}"),
+        }
+    };
+
+    let omega_t = run(SystemVariant::Omega).unwrap();
+    let dram_t = run(SystemVariant::OmegaDram);
+    let pm_t = run(SystemVariant::OmegaPm);
+    let wo_nadp = run(SystemVariant::OmegaWithoutNadp).unwrap();
+    let wo_asl = run(SystemVariant::OmegaWithoutAsl).unwrap();
+    // WoFP matters in the streaming-disabled regime (Fig. 14's config:
+    // EaTA + WoFP, no ASL) — compare with/without there.
+    let wofp_on = {
+        let over = base
+            .clone()
+            .with_variant(SystemVariant::OmegaWithoutAsl)
+            .with_wofp(Some(Default::default()));
+        Omega::with_overrides(over)
+            .unwrap()
+            .embed(&g)
+            .unwrap()
+            .total_time()
+            .as_secs_f64()
+    };
+    let wofp_off = {
+        let over = base
+            .clone()
+            .with_variant(SystemVariant::OmegaWithoutAsl)
+            .with_wofp(None);
+        Omega::with_overrides(over)
+            .unwrap()
+            .embed(&g)
+            .unwrap()
+            .total_time()
+            .as_secs_f64()
+    };
+    let wo_wofp = wofp_off / wofp_on;
+
+    println!("\n-- end-to-end (PK twin) --");
+    println!("OMeGa          {}", fmt_time(Some(omega_s(omega_t))));
+    println!(
+        "OMeGa-DRAM     {}   gap hetero/dram = {:.2} (paper ~1.55)",
+        fmt_time(dram_t.map(omega_s)),
+        omega_t / dram_t.unwrap()
+    );
+    println!(
+        "OMeGa-PM       {}   pm/hetero = {:.1} (paper: orders of magnitude)",
+        fmt_time(pm_t.map(omega_s)),
+        pm_t.unwrap() / omega_t
+    );
+    println!("w/o WoFP       ratio {wo_wofp:.2} (no-ASL regime; paper ~1.37)");
+    println!("w/o NaDP       ratio {:.2} (paper ~1.95)", wo_nadp / omega_t);
+    println!("w/o ASL        ratio {:.2}", wo_asl / omega_t);
+
+    let prone_dram = ProneBaseline::dram(topo.clone(), THREADS, DIM).run(&g);
+    let prone_hm = ProneBaseline::hm(topo.clone(), THREADS, DIM).run(&g);
+    println!(
+        "ProNE-DRAM     {}   vs OMeGa = {:.2} (paper ~3.45)",
+        fmt_time(prone_dram.time()),
+        prone_dram.time().unwrap().as_secs_f64() / omega_t
+    );
+    println!(
+        "ProNE-HM       {}   vs OMeGa = {:.2} (paper ~33.7)",
+        fmt_time(prone_hm.time()),
+        prone_hm.time().unwrap().as_secs_f64() / omega_t
+    );
+
+    let ssd_cfg = SsdSystemConfig {
+        threads: THREADS,
+        dim: DIM,
+        ..SsdSystemConfig::default()
+    };
+    let ginex = GinexLike::new(topo.clone(), ssd_cfg).run(&g);
+    let marius = MariusLike::new(topo.clone(), ssd_cfg).run(&g);
+    println!(
+        "Ginex          {}   vs OMeGa = {:.2} (paper ~5.49)",
+        fmt_time(ginex.time()),
+        ginex.time().unwrap().as_secs_f64() / omega_t
+    );
+    println!(
+        "MariusGNN      {}   vs OMeGa = {:.2} (paper ~2.07)",
+        fmt_time(marius.time()),
+        marius.time().unwrap().as_secs_f64() / omega_t
+    );
+
+    let dist_cfg = DistConfig::paper_cluster(DIM);
+    let dgl = DistDglLike::new(dist_cfg).run(&g);
+    let ger = DistGerLike::new(dist_cfg).run(&g);
+    println!(
+        "DistDGL        {}   vs OMeGa = {:.2} (paper ~4.31)",
+        fmt_time(dgl.time()),
+        dgl.time().unwrap().as_secs_f64() / omega_t
+    );
+    println!(
+        "DistGER        {}   vs OMeGa = {:.2} (paper ~1.58 on PK)",
+        fmt_time(ger.time()),
+        ger.time().unwrap().as_secs_f64() / omega_t
+    );
+
+    // --- single SpMM comparisons -------------------------------------------
+    println!("\n-- single SpMM (PK twin, d={DIM}) --");
+    let csdb = Csdb::from_csr(&g).unwrap();
+    let b = gaussian_matrix(g.rows() as usize, DIM, 1);
+    let omega_spmm = omega_spmm_time(topo.clone(), THREADS, &csdb, &b);
+    let sem = SemSpmm::new(topo.clone(), THREADS).run_spmm(&g, DIM);
+    let fused = FusedMm::new(topo.clone(), THREADS).run_spmm(&g, DIM);
+    println!("OMeGa SpMM     {}", fmt_time(omega_spmm.time()));
+    println!(
+        "SEM-SpMM       {}   vs OMeGa = {:.2} (paper ~15.7)",
+        fmt_time(sem.time()),
+        sem.time().unwrap().as_secs_f64() / omega_spmm.time().unwrap().as_secs_f64()
+    );
+    println!(
+        "FusedMM        {}   vs OMeGa = {:.2} (paper 2.1-3.3)",
+        fmt_time(fused.time()),
+        fused.time().unwrap().as_secs_f64() / omega_spmm.time().unwrap().as_secs_f64()
+    );
+
+    // --- allocation schemes (Table II shape) --------------------------------
+    println!("\n-- allocation schemes, one SpMM --");
+    let spmm_t = |alloc: AllocScheme| {
+        let sys = MemSystem::new(topo.clone());
+        let eng = SpmmEngine::new(sys, SpmmConfig::omega(THREADS).with_alloc(alloc)).unwrap();
+        eng.spmm(&csdb, &b).unwrap().makespan.as_secs_f64()
+    };
+    let rr = spmm_t(AllocScheme::RoundRobin);
+    let wata = spmm_t(AllocScheme::WaTA);
+    let eata = spmm_t(AllocScheme::eata_default());
+    println!("RR {rr:.4}  WaTA {wata:.4}  EaTA {eata:.4}");
+    // Thread-time distribution diagnostics (Fig. 13 inputs).
+    for alloc in [AllocScheme::WaTA, AllocScheme::eata_default()] {
+        let sys = MemSystem::new(topo.clone());
+        let eng = SpmmEngine::new(sys, SpmmConfig::omega(THREADS).with_alloc(alloc)).unwrap();
+        let run = eng.spmm(&csdb, &b).unwrap();
+        let s = run.stats;
+        println!(
+            "{:>4}: mean {:.4} stddev {:.4} p95 {:.4} p99 {:.4} max {:.4}",
+            alloc.label(), s.mean_s, s.stddev_s, s.p95_s, s.p99_s, s.max_s
+        );
+    }
+    println!(
+        "RR/EaTA = {:.2} (paper avg 7.5 on PK)   WaTA/EaTA = {:.2} (paper 1.74 on PK)",
+        rr / eata,
+        wata / eata
+    );
+}
+
+fn omega_s(s: f64) -> omega_hetmem::SimDuration {
+    omega_hetmem::SimDuration::from_secs_f64(s)
+}

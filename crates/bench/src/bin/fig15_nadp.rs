@@ -1,0 +1,123 @@
+//! Fig. 15 — the effect of NUMA-aware data placement: (a) overall
+//! performance and (b) a single SpMM, for OMeGa vs OMeGa-w/o-NaDP
+//! (OS Interleave policy) vs the OMeGa-DRAM ideal, on five twins.
+//!
+//! Measured with streaming disabled so NUMA-sensitive traffic reaches the
+//! memory devices (with full ASL staging, DRAM absorbs most of it at twin
+//! scale — see EXPERIMENTS.md).
+
+use omega::{Omega, OmegaConfig, SystemVariant};
+use omega_bench::{experiment_topology, fmt_time, geomean, load, print_table, DIM, THREADS};
+use omega_graph::{Csdb, Dataset};
+use omega_hetmem::{MemSystem, SimDuration};
+use omega_linalg::gaussian_matrix;
+use omega_spmm::SpmmEngine;
+
+fn main() {
+    let topo = experiment_topology();
+    let base = OmegaConfig::default()
+        .with_topology(topo.clone())
+        .with_threads(THREADS)
+        .with_dim(DIM);
+
+    // (a) overall performance.
+    let mut rows_a = Vec::new();
+    let mut overall_speedups = Vec::new();
+    // (b) single SpMM.
+    let mut rows_b = Vec::new();
+    let mut spmm_speedups = Vec::new();
+
+    for &d in &Dataset::SMALL_FIVE {
+        let g = load(d);
+
+        let end_to_end = |variant: SystemVariant, nadp: bool| -> Option<SimDuration> {
+            let over = base
+                .clone()
+                .with_variant(variant)
+                .with_wofp(Some(Default::default()));
+            let mut over = over;
+            over.asl_override = Some(None);
+            if !nadp {
+                // Variant already encodes it for OmegaWithoutNadp.
+            }
+            match Omega::with_overrides(over).unwrap().embed(&g) {
+                Ok(r) => Some(r.total_time()),
+                Err(e) if e.is_oom() => None,
+                Err(e) => panic!("{e}"),
+            }
+        };
+        let omega = end_to_end(SystemVariant::Omega, true);
+        let wo = end_to_end(SystemVariant::OmegaWithoutNadp, false);
+        let dram = end_to_end(SystemVariant::OmegaDram, true);
+        if let (Some(a), Some(b)) = (omega, wo) {
+            overall_speedups.push(b.ratio(a));
+        }
+        rows_a.push(vec![
+            d.label().to_string(),
+            fmt_time(omega),
+            fmt_time(wo),
+            fmt_time(dram),
+            match (omega, wo) {
+                (Some(a), Some(b)) => format!("{:.2}x", b.ratio(a)),
+                _ => "-".into(),
+            },
+        ]);
+
+        let csdb = Csdb::from_csr(&g).unwrap();
+        let bmat = gaussian_matrix(g.rows() as usize, DIM, 15);
+        let spmm = |nadp: bool, variant: SystemVariant| -> Option<SimDuration> {
+            let cfg = variant
+                .spmm_config(THREADS)
+                .with_asl(None)
+                .with_nadp(nadp && variant != SystemVariant::OmegaWithoutNadp);
+            let eng = SpmmEngine::new(MemSystem::new(topo.clone()), cfg).ok()?;
+            eng.spmm(&csdb, &bmat).ok().map(|r| r.makespan)
+        };
+        let s_omega = spmm(true, SystemVariant::Omega);
+        let s_wo = spmm(false, SystemVariant::Omega);
+        let s_dram = spmm(true, SystemVariant::OmegaDram);
+        // Gap to DRAM in the *full* configuration (streaming on), the
+        // regime of the paper's 40% figure.
+        let full = |variant: SystemVariant| -> Option<SimDuration> {
+            let cfg = variant.spmm_config(THREADS);
+            let eng = SpmmEngine::new(MemSystem::new(topo.clone()), cfg).ok()?;
+            eng.spmm(&csdb, &bmat).ok().map(|r| r.makespan)
+        };
+        let f_omega = full(SystemVariant::Omega);
+        let f_dram = full(SystemVariant::OmegaDram);
+        if let (Some(a), Some(b)) = (s_omega, s_wo) {
+            spmm_speedups.push(b.ratio(a));
+        }
+        rows_b.push(vec![
+            d.label().to_string(),
+            fmt_time(s_omega),
+            fmt_time(s_wo),
+            fmt_time(s_dram),
+            match (s_omega, s_wo) {
+                (Some(a), Some(b)) => format!("{:.2}x", b.ratio(a)),
+                _ => "-".into(),
+            },
+            match (f_omega, f_dram) {
+                (Some(a), Some(c)) => format!("{:.0}%", (a.ratio(c) - 1.0) * 100.0),
+                _ => "-".into(),
+            },
+        ]);
+    }
+
+    print_table(
+        "Fig. 15(a): overall performance",
+        &["graph", "OMeGa", "w/o NaDP", "OMeGa-DRAM", "NaDP speedup"],
+        &rows_a,
+    );
+    print_table(
+        "Fig. 15(b): single SpMM",
+        &["graph", "OMeGa", "w/o NaDP", "OMeGa-DRAM", "NaDP speedup", "full-cfg gap to DRAM"],
+        &rows_b,
+    );
+    println!(
+        "\ngeomean NaDP speedup: overall {:.2}x (paper 1.95x), SpMM {:.2}x \
+         (paper 2.42-3.59x; gap to DRAM 40.17% avg)",
+        geomean(&overall_speedups),
+        geomean(&spmm_speedups)
+    );
+}

@@ -1,0 +1,65 @@
+//! Fig. 16 — SpMM throughput (million dense fetches per second):
+//! (a) OMeGa vs OMeGa-w/o-NaDP on five twins at 30 threads,
+//! (b) sweep over thread counts on the soc-LiveJournal twin.
+
+use omega_bench::{experiment_topology, load, print_table, DIM, THREADS};
+use omega_graph::{Csdb, Dataset};
+use omega_hetmem::MemSystem;
+use omega_linalg::gaussian_matrix;
+use omega_spmm::{SpmmConfig, SpmmEngine};
+
+fn throughput(cfg: SpmmConfig, csdb: &Csdb, b: &omega_linalg::DenseMatrix) -> f64 {
+    let eng = SpmmEngine::new(MemSystem::new(experiment_topology()), cfg).unwrap();
+    eng.spmm(csdb, b).unwrap().throughput_mnnz_s()
+}
+
+fn main() {
+    // (a) per graph.
+    let mut rows = Vec::new();
+    for &d in &Dataset::SMALL_FIVE {
+        let g = load(d);
+        let csdb = Csdb::from_csr(&g).unwrap();
+        let b = gaussian_matrix(g.rows() as usize, DIM, 16);
+        let with = throughput(SpmmConfig::omega(THREADS), &csdb, &b);
+        let without = throughput(
+            SpmmConfig::omega(THREADS).with_nadp(false),
+            &csdb,
+            &b,
+        );
+        rows.push(vec![
+            d.label().to_string(),
+            format!("{with:.1}"),
+            format!("{without:.1}"),
+            format!("{:.2}x", with / without),
+        ]);
+    }
+    print_table(
+        "Fig. 16(a): SpMM throughput (M nnz fetched/s), 30 threads",
+        &["graph", "OMeGa", "w/o NaDP", "gain"],
+        &rows,
+    );
+
+    // (b) thread sweep on LJ.
+    let g = load(Dataset::Lj);
+    let csdb = Csdb::from_csr(&g).unwrap();
+    let b = gaussian_matrix(g.rows() as usize, DIM, 17);
+    let mut rows = Vec::new();
+    for threads in [1usize, 2, 4, 8, 12, 18, 24, 30, 36] {
+        let with = throughput(SpmmConfig::omega(threads), &csdb, &b);
+        let without = throughput(
+            SpmmConfig::omega(threads).with_nadp(false),
+            &csdb,
+            &b,
+        );
+        rows.push(vec![
+            threads.to_string(),
+            format!("{with:.1}"),
+            format!("{without:.1}"),
+        ]);
+    }
+    print_table(
+        "Fig. 16(b): throughput vs threads on LJ (M nnz/s)",
+        &["threads", "OMeGa", "w/o NaDP"],
+        &rows,
+    );
+}

@@ -1,0 +1,90 @@
+//! Fig. 17 — scalability: (a) running time vs thread count on the
+//! soc-LiveJournal twin (overall and single SpMM), (b) running time vs
+//! graph size on synthetic R-MAT graphs at 30 threads (sparse and dense
+//! parameterisations).
+
+use omega::{Omega, OmegaConfig};
+use omega_bench::{experiment_topology, fmt_time, load, print_table, DIM, THREADS};
+use omega_graph::{Csdb, Dataset, RmatConfig};
+use omega_hetmem::{MemSystem, SimDuration, Topology};
+use omega_linalg::gaussian_matrix;
+use omega_spmm::{SpmmConfig, SpmmEngine};
+
+fn main() {
+    let topo = experiment_topology();
+
+    // (a) thread sweep on LJ.
+    let g = load(Dataset::Lj);
+    let csdb = Csdb::from_csr(&g).unwrap();
+    let b = gaussian_matrix(g.rows() as usize, DIM, 18);
+    let mut rows = Vec::new();
+    for threads in [1usize, 2, 4, 8, 12, 18, 24, 30] {
+        let overall = Omega::new(
+            OmegaConfig::default()
+                .with_topology(topo.clone())
+                .with_threads(threads)
+                .with_dim(DIM),
+        )
+        .unwrap()
+        .embed(&g)
+        .unwrap()
+        .total_time();
+        let spmm = SpmmEngine::new(MemSystem::new(topo.clone()), SpmmConfig::omega(threads))
+            .unwrap()
+            .spmm(&csdb, &b)
+            .unwrap()
+            .makespan;
+        rows.push(vec![
+            threads.to_string(),
+            fmt_time(Some(overall)),
+            fmt_time(Some(spmm)),
+        ]);
+    }
+    print_table(
+        "Fig. 17(a): runtime vs threads on LJ",
+        &["threads", "overall", "one SpMM"],
+        &rows,
+    );
+
+    // (b) R-MAT size sweep: node counts across four orders of magnitude,
+    // sparse (avg deg ~16) and dense (avg deg ~64) variants. The machine
+    // grows with the graph, like the paper's fixed testbed headroom.
+    let mut rows = Vec::new();
+    for exp in [10u32, 12, 14, 16, 17] {
+        let nodes = 1u32 << exp;
+        for (kind, avg_deg) in [("sparse", 16u64), ("dense", 64u64)] {
+            let cfg = RmatConfig::social(nodes, nodes as u64 * avg_deg / 2, 17 + exp as u64);
+            let graph = cfg.generate_csr().unwrap();
+            let dram = ((nodes as u64 * avg_deg * 16).max(8 << 20)).next_power_of_two();
+            let machine = Topology::paper_machine_scaled(dram);
+            let run = Omega::new(
+                OmegaConfig::default()
+                    .with_topology(machine.clone())
+                    .with_threads(THREADS)
+                    .with_dim(DIM),
+            )
+            .unwrap()
+            .embed(&graph);
+            let (overall, spmm_share): (Option<SimDuration>, String) = match run {
+                Ok(r) => (
+                    Some(r.total_time()),
+                    format!("{:.0}%", r.report.spmm_share() * 100.0),
+                ),
+                Err(e) if e.is_oom() => (None, "-".into()),
+                Err(e) => panic!("{e}"),
+            };
+            rows.push(vec![
+                format!("2^{exp}"),
+                kind.to_string(),
+                graph.nnz().to_string(),
+                fmt_time(overall),
+                spmm_share,
+            ]);
+        }
+    }
+    print_table(
+        "Fig. 17(b): R-MAT size sweep, 30 threads",
+        &["nodes", "density", "nnz", "overall", "SpMM share"],
+        &rows,
+    );
+}

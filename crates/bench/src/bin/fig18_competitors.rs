@@ -1,0 +1,93 @@
+//! Fig. 18 — (a) OMeGa vs the distributed systems DistGER and DistDGL
+//! (end-to-end, four-machine cluster), and (b) one SpMM vs the
+//! SpMM-specialised systems SEM-SpMM and FusedMM. FusedMM must OOM on the
+//! billion-scale TW-2010 twin, as the paper reports.
+
+use omega::{Omega, OmegaConfig};
+use omega_baselines::dist::{DistConfig, DistDglLike, DistGerLike};
+use omega_baselines::spmm_systems::{omega_spmm_time, FusedMm, SemSpmm};
+use omega_baselines::RunOutcome;
+use omega_bench::{experiment_topology, fmt_time, geomean, load, print_table, DIM, THREADS};
+use omega_graph::{Csdb, Dataset};
+use omega_linalg::gaussian_matrix;
+
+fn main() {
+    let topo = experiment_topology();
+    let base = OmegaConfig::default()
+        .with_topology(topo.clone())
+        .with_threads(THREADS)
+        .with_dim(DIM);
+
+    // (a) distributed systems, end to end.
+    let dist_cfg = DistConfig::paper_cluster(DIM);
+    let mut rows = Vec::new();
+    let mut dgl_speedups = Vec::new();
+    let mut ger_ratios = Vec::new();
+    for &d in &Dataset::ALL {
+        let g = load(d);
+        let omega = Omega::new(base.clone()).unwrap().embed(&g).unwrap().total_time();
+        let dgl = DistDglLike::new(dist_cfg).run(&g);
+        let ger = DistGerLike::new(dist_cfg).run(&g);
+        if let Some(t) = dgl.time() {
+            dgl_speedups.push(t.ratio(omega));
+        }
+        if let Some(t) = ger.time() {
+            ger_ratios.push(t.ratio(omega));
+        }
+        rows.push(vec![
+            d.label().to_string(),
+            fmt_time(Some(omega)),
+            fmt_time(ger.time()),
+            fmt_time(dgl.time()),
+        ]);
+    }
+    print_table(
+        "Fig. 18(a): vs distributed systems (4-machine 25GbE cluster)",
+        &["graph", "OMeGa", "DistGER", "DistDGL"],
+        &rows,
+    );
+    println!(
+        "geomean: OMeGa is {:.2}x faster than DistDGL (paper 4.31x), \
+         DistGER/OMeGa ratio {:.2} (paper: 1.58x on PK, comparable on larger)",
+        geomean(&dgl_speedups),
+        geomean(&ger_ratios)
+    );
+
+    // (b) SpMM-specialised systems, one SpMM.
+    let mut rows = Vec::new();
+    let mut sem_speedups = Vec::new();
+    let mut fused_speedups = Vec::new();
+    for &d in &Dataset::ALL {
+        let g = load(d);
+        let csdb = Csdb::from_csr(&g).unwrap();
+        let b = gaussian_matrix(g.rows() as usize, DIM, 18);
+        let omega = omega_spmm_time(topo.clone(), THREADS, &csdb, &b);
+        let sem = SemSpmm::new(topo.clone(), THREADS).run_spmm(&g, DIM);
+        let fused = FusedMm::new(topo.clone(), THREADS).run_spmm(&g, DIM);
+        let omega_t = omega.time().expect("OMeGa completes");
+        if let Some(t) = sem.time() {
+            sem_speedups.push(t.ratio(omega_t));
+        }
+        if let Some(t) = fused.time() {
+            fused_speedups.push(t.ratio(omega_t));
+        }
+        let cell = |o: &RunOutcome| fmt_time(o.time());
+        rows.push(vec![
+            d.label().to_string(),
+            fmt_time(Some(omega_t)),
+            cell(&sem),
+            cell(&fused),
+        ]);
+    }
+    print_table(
+        "Fig. 18(b): one SpMM vs SEM-SpMM and FusedMM",
+        &["graph", "OMeGa", "SEM-SpMM", "FusedMM"],
+        &rows,
+    );
+    println!(
+        "geomean: OMeGa is {:.2}x faster than SEM-SpMM (paper 15.69x) and \
+         {:.2}x faster than FusedMM (paper 2.11-3.26x; FusedMM OOMs on TW-2010)",
+        geomean(&sem_speedups),
+        geomean(&fused_speedups)
+    );
+}

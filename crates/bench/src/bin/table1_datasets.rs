@@ -1,0 +1,52 @@
+//! Table I — dataset statistics.
+//!
+//! Prints the paper's published statistics for each of the six evaluation
+//! graphs next to the measured statistics of the scaled synthetic twins the
+//! reproduction runs on (R-MAT, 1:`OMEGA_SCALE`, default 1:1000).
+
+use omega_bench::{load, print_table};
+use omega_graph::stats::GraphStats;
+use omega_graph::{datasets::default_scale, Dataset};
+
+fn main() {
+    let scale = default_scale();
+    println!("Table I: dataset statistics (twins at 1:{scale})");
+
+    let rows: Vec<Vec<String>> = Dataset::ALL
+        .iter()
+        .map(|&d| {
+            let paper = d.paper_stats();
+            let twin = load(d);
+            let s = GraphStats::of(&twin);
+            vec![
+                d.label().to_string(),
+                paper.name.to_string(),
+                format!("{:.2} M", paper.nodes as f64 / 1e6),
+                format!("{:.2} M", paper.edges as f64 / 1e6),
+                paper.max_degree.to_string(),
+                s.nodes.to_string(),
+                s.edges.to_string(),
+                s.max_degree.to_string(),
+                format!("{:.1}", s.avg_degree),
+                s.distinct_degrees.to_string(),
+            ]
+        })
+        .collect();
+
+    print_table(
+        "Table I (paper | twin)",
+        &[
+            "graph",
+            "name",
+            "paper |V|",
+            "paper |E|",
+            "paper maxdeg",
+            "twin |V|",
+            "twin |E|",
+            "twin maxdeg",
+            "twin avgdeg",
+            "twin |Degree|",
+        ],
+        &rows,
+    );
+}

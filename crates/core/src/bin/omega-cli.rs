@@ -1,0 +1,238 @@
+//! `omega-cli` — command-line front end for the OMeGa system.
+//!
+//! ```text
+//! omega-cli embed   --input graph.txt --output emb.txt [--dim 64]
+//!                   [--threads 30] [--mode hetero|dram|pm]
+//!                   [--no-wofp] [--no-nadp] [--no-asl]
+//! omega-cli generate --nodes 10000 --edges 200000 --seed 7 --output g.txt
+//! omega-cli stats   --input graph.txt
+//! ```
+//!
+//! Arguments are parsed by hand (the workspace stays dependency-light).
+
+use omega::{Omega, OmegaConfig, SystemVariant};
+use omega_graph::stats::GraphStats;
+use omega_graph::{Csr, EdgeList, GraphBuilder, RmatConfig};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  omega-cli embed    --input <edge-list> --output <file> [--dim N]
+                     [--threads N] [--mode hetero|dram|pm]
+                     [--no-wofp] [--no-nadp] [--no-asl]
+  omega-cli generate --nodes N --edges M [--seed S] --output <file>
+  omega-cli stats    --input <edge-list>";
+
+/// Parsed `--key value` / `--flag` arguments.
+struct Opts {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Result<Opts, String> {
+        let mut values = HashMap::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let key = args[i]
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --option, got {:?}", args[i]))?;
+            if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                values.insert(key.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                flags.push(key.to_string());
+                i += 1;
+            }
+        }
+        Ok(Opts { values, flags })
+    }
+
+    fn require(&self, key: &str) -> Result<&str, String> {
+        self.values
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing --{key}"))
+    }
+
+    fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value for --{key}: {v:?}")),
+        }
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err("no command given".into());
+    };
+    let opts = Opts::parse(rest)?;
+    match cmd.as_str() {
+        "embed" => embed(&opts),
+        "generate" => generate(&opts),
+        "stats" => stats(&opts),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn load_graph(path: &str) -> Result<Csr, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let list = EdgeList::parse(&text).map_err(|e| e.to_string())?;
+    GraphBuilder::from_edge_list(&list)
+        .build_csr()
+        .map_err(|e| e.to_string())
+}
+
+fn embed(opts: &Opts) -> Result<(), String> {
+    let input = opts.require("input")?;
+    let output = opts.require("output")?.to_string();
+    let dim: usize = opts.get_or("dim", 64)?;
+    let threads: usize = opts.get_or("threads", 30)?;
+    let mode = opts.values.get("mode").map(String::as_str).unwrap_or("hetero");
+
+    let variant = if opts.flag("no-wofp") {
+        SystemVariant::OmegaWithoutWofp
+    } else if opts.flag("no-nadp") {
+        SystemVariant::OmegaWithoutNadp
+    } else if opts.flag("no-asl") {
+        SystemVariant::OmegaWithoutAsl
+    } else {
+        match mode {
+            "hetero" => SystemVariant::Omega,
+            "dram" => SystemVariant::OmegaDram,
+            "pm" => SystemVariant::OmegaPm,
+            other => return Err(format!("unknown --mode {other:?}")),
+        }
+    };
+
+    let graph = load_graph(input)?;
+    eprintln!(
+        "loaded {input}: |V|={} |E|={}",
+        graph.rows(),
+        graph.nnz() / 2
+    );
+    let cfg = OmegaConfig::default()
+        .with_dim(dim)
+        .with_threads(threads)
+        .with_variant(variant);
+    let omega = Omega::new(cfg).map_err(|e| e.to_string())?;
+    let run = omega.embed(&graph).map_err(|e| {
+        if e.is_oom() {
+            format!("simulated machine out of memory in {mode} mode: {e}")
+        } else {
+            e.to_string()
+        }
+    })?;
+    eprintln!("{}", run.summary());
+    std::fs::write(&output, run.embedding.to_text())
+        .map_err(|e| format!("writing {output}: {e}"))?;
+    eprintln!("wrote {output}");
+    Ok(())
+}
+
+fn generate(opts: &Opts) -> Result<(), String> {
+    let nodes: u32 = opts.require("nodes")?.parse().map_err(|_| "bad --nodes")?;
+    let edges: u64 = opts.require("edges")?.parse().map_err(|_| "bad --edges")?;
+    let seed: u64 = opts.get_or("seed", 42)?;
+    let output = opts.require("output")?.to_string();
+    let list = RmatConfig::social(nodes, edges, seed).generate_edges();
+    std::fs::write(&output, list.to_text()).map_err(|e| format!("writing {output}: {e}"))?;
+    eprintln!("wrote {} edges to {output}", list.len());
+    Ok(())
+}
+
+fn stats(opts: &Opts) -> Result<(), String> {
+    let input = opts.require("input")?;
+    let graph = load_graph(input)?;
+    let s = GraphStats::of(&graph);
+    println!("nodes             {}", s.nodes);
+    println!("edges             {}", s.edges);
+    println!("max degree        {}", s.max_degree);
+    println!("avg degree        {:.2}", s.avg_degree);
+    println!("distinct degrees  {}", s.distinct_degrees);
+    println!("degree entropy    {:.3} (normalised {:.3})", s.entropy, s.normalized_entropy);
+    println!(
+        "largest component {}",
+        omega_graph::algo::largest_component_size(&graph)
+    );
+    println!(
+        "avg clustering    {:.4}",
+        omega_graph::algo::avg_clustering(&graph, 500)
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn opts_parse_values_and_flags() {
+        let o = Opts::parse(&s(&["--input", "a.txt", "--no-wofp", "--dim", "32"])).unwrap();
+        assert_eq!(o.require("input").unwrap(), "a.txt");
+        assert_eq!(o.get_or::<usize>("dim", 8).unwrap(), 32);
+        assert!(o.flag("no-wofp"));
+        assert!(!o.flag("no-nadp"));
+        assert_eq!(o.get_or::<usize>("threads", 30).unwrap(), 30);
+    }
+
+    #[test]
+    fn opts_reject_bad_input() {
+        assert!(Opts::parse(&s(&["positional"])).is_err());
+        let o = Opts::parse(&s(&["--dim", "xyz"])).unwrap();
+        assert!(o.get_or::<usize>("dim", 8).is_err());
+        assert!(o.require("missing").is_err());
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run(&s(&["frobnicate"])).is_err());
+        assert!(run(&s(&[])).is_err());
+    }
+
+    #[test]
+    fn generate_stats_embed_roundtrip() {
+        let dir = std::env::temp_dir().join("omega_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = dir.join("g.txt");
+        let e = dir.join("e.txt");
+        run(&s(&[
+            "generate", "--nodes", "300", "--edges", "2000", "--seed", "5",
+            "--output", g.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&s(&["stats", "--input", g.to_str().unwrap()])).unwrap();
+        run(&s(&[
+            "embed", "--input", g.to_str().unwrap(), "--output", e.to_str().unwrap(),
+            "--dim", "8", "--threads", "4",
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&e).unwrap();
+        assert!(text.lines().next().unwrap().ends_with(" 8"));
+    }
+}

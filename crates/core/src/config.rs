@@ -1,0 +1,198 @@
+//! System configuration: which machine, which variant, which model
+//! hyper-parameters.
+
+use omega_embed::prone::ProneConfig;
+use omega_hetmem::Topology;
+use omega_spmm::{AllocScheme, AslConfig, SpmmConfig, WofpConfig};
+#[cfg(test)]
+use omega_spmm::MemMode;
+
+/// The paper's named system variants (§IV-A baselines plus ablations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemVariant {
+    /// Full OMeGa on heterogeneous memory.
+    Omega,
+    /// Everything in DRAM (ideal baseline).
+    OmegaDram,
+    /// Everything in PM, heterogeneous optimisations off (worst baseline).
+    OmegaPm,
+    /// OMeGa with the prefetcher disabled (Fig. 14 ablation).
+    OmegaWithoutWofp,
+    /// OMeGa with OS-interleaved placement instead of NaDP (Fig. 15).
+    OmegaWithoutNadp,
+    /// OMeGa with streaming disabled.
+    OmegaWithoutAsl,
+}
+
+impl SystemVariant {
+    pub const fn label(self) -> &'static str {
+        match self {
+            SystemVariant::Omega => "OMeGa",
+            SystemVariant::OmegaDram => "OMeGa-DRAM",
+            SystemVariant::OmegaPm => "OMeGa-PM",
+            SystemVariant::OmegaWithoutWofp => "OMeGa-w/o-WoFP",
+            SystemVariant::OmegaWithoutNadp => "OMeGa-w/o-NaDP",
+            SystemVariant::OmegaWithoutAsl => "OMeGa-w/o-ASL",
+        }
+    }
+
+    /// The SpMM engine configuration of this variant.
+    pub fn spmm_config(self, threads: usize) -> SpmmConfig {
+        match self {
+            SystemVariant::Omega => SpmmConfig::omega(threads),
+            SystemVariant::OmegaDram => SpmmConfig::omega_dram(threads),
+            SystemVariant::OmegaPm => SpmmConfig::omega_pm(threads),
+            SystemVariant::OmegaWithoutWofp => SpmmConfig::omega(threads).with_wofp(None),
+            SystemVariant::OmegaWithoutNadp => SpmmConfig::omega(threads).with_nadp(false),
+            SystemVariant::OmegaWithoutAsl => SpmmConfig::omega(threads).with_asl(None),
+        }
+    }
+}
+
+/// Full system configuration.
+#[derive(Debug, Clone)]
+pub struct OmegaConfig {
+    /// The simulated machine. Default: the paper's two-socket Optane box
+    /// scaled 1:1000 alongside the dataset twins (24 MiB DRAM + 192 MiB PM
+    /// per socket).
+    pub topology: Topology,
+    pub variant: SystemVariant,
+    /// Simulated threads (the paper's experiments use 30).
+    pub threads: usize,
+    /// Embedding model hyper-parameters.
+    pub prone: ProneConfig,
+}
+
+/// Default DRAM per socket of the scaled experiment machine: 24 MiB, chosen
+/// with the 1:1000 dataset twins so that the two billion-scale twins
+/// exceed DRAM (reproducing the paper's OOMs) while the rest fit.
+pub const SCALED_DRAM_PER_NODE: u64 = 24 << 20;
+
+impl Default for OmegaConfig {
+    fn default() -> Self {
+        OmegaConfig {
+            topology: Topology::paper_machine_scaled(SCALED_DRAM_PER_NODE),
+            variant: SystemVariant::Omega,
+            threads: 30,
+            prone: ProneConfig::default(),
+        }
+    }
+}
+
+impl OmegaConfig {
+    pub fn with_variant(mut self, variant: SystemVariant) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    pub fn with_dim(mut self, dim: usize) -> Self {
+        self.prone.dim = dim;
+        self
+    }
+
+    /// Override the allocation scheme (Table II ablations).
+    pub fn with_alloc(self, alloc: AllocScheme) -> OmegaConfigWithSpmmOverride {
+        OmegaConfigWithSpmmOverride {
+            base: self,
+            alloc: Some(alloc),
+            wofp_override: None,
+            asl_override: None,
+        }
+    }
+
+    /// Override WoFP parameters (Fig. 19 sensitivity sweeps).
+    pub fn with_wofp(self, wofp: Option<WofpConfig>) -> OmegaConfigWithSpmmOverride {
+        OmegaConfigWithSpmmOverride {
+            base: self,
+            alloc: None,
+            wofp_override: Some(wofp),
+            asl_override: None,
+        }
+    }
+
+    /// The resolved SpMM configuration.
+    pub fn spmm_config(&self) -> SpmmConfig {
+        self.variant.spmm_config(self.threads)
+    }
+}
+
+/// An [`OmegaConfig`] with explicit SpMM-layer overrides for ablations.
+#[derive(Debug, Clone)]
+pub struct OmegaConfigWithSpmmOverride {
+    pub base: OmegaConfig,
+    pub alloc: Option<AllocScheme>,
+    pub wofp_override: Option<Option<WofpConfig>>,
+    pub asl_override: Option<Option<AslConfig>>,
+}
+
+impl OmegaConfigWithSpmmOverride {
+    pub fn spmm_config(&self) -> SpmmConfig {
+        let mut cfg = self.base.spmm_config();
+        if let Some(alloc) = self.alloc {
+            cfg = cfg.with_alloc(alloc);
+        }
+        if let Some(wofp) = self.wofp_override {
+            cfg = cfg.with_wofp(wofp);
+        }
+        if let Some(asl) = self.asl_override {
+            cfg = cfg.with_asl(asl);
+        }
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_full_omega() {
+        let cfg = OmegaConfig::default();
+        assert_eq!(cfg.variant, SystemVariant::Omega);
+        assert_eq!(cfg.threads, 30);
+        let spmm = cfg.spmm_config();
+        assert!(spmm.nadp);
+        assert!(spmm.wofp.is_some());
+        assert!(spmm.asl.is_some());
+        assert_eq!(spmm.mode, MemMode::Hetero);
+    }
+
+    #[test]
+    fn variants_toggle_the_right_knobs() {
+        let t = 8;
+        assert_eq!(
+            SystemVariant::OmegaDram.spmm_config(t).mode,
+            MemMode::DramOnly
+        );
+        assert_eq!(SystemVariant::OmegaPm.spmm_config(t).mode, MemMode::PmOnly);
+        assert!(SystemVariant::OmegaWithoutWofp.spmm_config(t).wofp.is_none());
+        assert!(!SystemVariant::OmegaWithoutNadp.spmm_config(t).nadp);
+        assert!(SystemVariant::OmegaWithoutAsl.spmm_config(t).asl.is_none());
+        assert_eq!(SystemVariant::Omega.label(), "OMeGa");
+        assert_eq!(SystemVariant::OmegaWithoutNadp.label(), "OMeGa-w/o-NaDP");
+    }
+
+    #[test]
+    fn builders_compose() {
+        let cfg = OmegaConfig::default()
+            .with_threads(4)
+            .with_dim(16)
+            .with_variant(SystemVariant::OmegaDram);
+        assert_eq!(cfg.threads, 4);
+        assert_eq!(cfg.prone.dim, 16);
+        let over = cfg.clone().with_alloc(AllocScheme::WaTA);
+        assert_eq!(over.spmm_config().alloc, AllocScheme::WaTA);
+        let over = cfg.with_wofp(None);
+        assert!(over.spmm_config().wofp.is_none());
+    }
+}

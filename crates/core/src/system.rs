@@ -1,0 +1,139 @@
+//! The assembled OMeGa system.
+
+use crate::config::{OmegaConfig, OmegaConfigWithSpmmOverride};
+use crate::report::OmegaRun;
+use crate::Result;
+use omega_embed::prone::Prone;
+use omega_graph::Csr;
+use omega_hetmem::MemSystem;
+use omega_spmm::{SpmmConfig, SpmmEngine};
+
+/// The OMeGa graph-embedding system bound to a simulated machine.
+#[derive(Debug)]
+pub struct Omega {
+    cfg: OmegaConfig,
+    spmm: SpmmConfig,
+}
+
+impl Omega {
+    /// Build the system for a configuration.
+    pub fn new(cfg: OmegaConfig) -> Result<Omega> {
+        let spmm = cfg.spmm_config();
+        Ok(Omega { cfg, spmm })
+    }
+
+    /// Build with explicit SpMM-layer overrides (ablation studies).
+    pub fn with_overrides(over: OmegaConfigWithSpmmOverride) -> Result<Omega> {
+        let spmm = over.spmm_config();
+        Ok(Omega {
+            cfg: over.base,
+            spmm,
+        })
+    }
+
+    pub fn config(&self) -> &OmegaConfig {
+        &self.cfg
+    }
+
+    pub fn spmm_config(&self) -> &SpmmConfig {
+        &self.spmm
+    }
+
+    /// A fresh engine on a fresh instance of the simulated machine (each
+    /// run gets clean capacity accounting, like a fresh process).
+    pub fn engine(&self) -> Result<SpmmEngine> {
+        let sys = MemSystem::new(self.cfg.topology.clone());
+        Ok(SpmmEngine::new(sys, self.spmm).map_err(omega_embed::EmbedError::Spmm)?)
+    }
+
+    /// End-to-end embedding of a symmetric adjacency matrix.
+    pub fn embed(&self, graph: &Csr) -> Result<OmegaRun> {
+        let engine = self.engine()?;
+        let prone = Prone::new(engine, self.cfg.prone);
+        let (embedding, report) = prone.embed(graph)?;
+        Ok(OmegaRun {
+            embedding,
+            report,
+            variant: self.cfg.variant.label(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemVariant;
+    use omega_embed::eval::link_prediction_auc;
+    use omega_graph::{Dataset, RmatConfig};
+
+    fn small() -> Csr {
+        RmatConfig::social(512, 4_000, 13).generate_csr().unwrap()
+    }
+
+    fn quick(cfg: OmegaConfig) -> OmegaConfig {
+        OmegaConfig {
+            threads: 8,
+            ..cfg
+        }
+        .with_dim(16)
+    }
+
+    #[test]
+    fn end_to_end_embedding_works() {
+        let omega = Omega::new(quick(OmegaConfig::default())).unwrap();
+        let run = omega.embed(&small()).unwrap();
+        assert_eq!(run.embedding.nodes(), 512);
+        let auc = link_prediction_auc(&run.embedding, &small(), 200, 1);
+        assert!(auc > 0.7, "auc={auc}");
+        assert!(run.total_time().as_nanos() > 0);
+        assert!(run.summary().contains("OMeGa"));
+    }
+
+    #[test]
+    fn variant_ordering_on_a_twin() {
+        // DRAM < Hetero < PM on a small twin that fits everywhere.
+        let g = Dataset::Pk.load_scaled(4000).unwrap();
+        let time = |v: SystemVariant| {
+            let omega = Omega::new(quick(OmegaConfig::default().with_variant(v))).unwrap();
+            omega.embed(&g).unwrap().total_time()
+        };
+        let dram = time(SystemVariant::OmegaDram);
+        let hetero = time(SystemVariant::Omega);
+        let pm = time(SystemVariant::OmegaPm);
+        assert!(dram < hetero, "{dram} !< {hetero}");
+        assert!(hetero < pm, "{hetero} !< {pm}");
+    }
+
+    #[test]
+    fn dram_only_ooms_on_billion_scale_twin() {
+        // The paper's capacity story: DRAM-only systems fail on TW-2010/FR.
+        let g = Dataset::Tw2010.load_scaled(4000).unwrap();
+        // At 1:4000 the twin shrinks, so shrink the machine equally.
+        let topo = omega_hetmem::Topology::paper_machine_scaled(
+            crate::config::SCALED_DRAM_PER_NODE / 4,
+        );
+        let cfg = quick(OmegaConfig::default().with_topology(topo.clone()))
+            .with_variant(SystemVariant::OmegaDram)
+            .with_dim(64);
+        let err = Omega::new(cfg).unwrap().embed(&g).unwrap_err();
+        assert!(err.is_oom(), "expected OOM, got {err}");
+        // Full OMeGa on the same machine completes (PM capacity).
+        let cfg = quick(OmegaConfig::default().with_topology(topo)).with_dim(64);
+        let run = Omega::new(cfg).unwrap().embed(&g);
+        assert!(run.is_ok(), "hetero should fit: {:?}", run.err().map(|e| e.to_string()));
+    }
+
+    #[test]
+    fn ablations_run() {
+        let g = small();
+        for v in [
+            SystemVariant::OmegaWithoutWofp,
+            SystemVariant::OmegaWithoutNadp,
+            SystemVariant::OmegaWithoutAsl,
+        ] {
+            let omega = Omega::new(quick(OmegaConfig::default().with_variant(v))).unwrap();
+            let run = omega.embed(&g).unwrap();
+            assert_eq!(run.variant, v.label());
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! The embedding output type: per-node vectors with lookup, similarity and
+//! text serialisation (the word2vec-style format graph-embedding tools
+//! exchange).
+
+use omega_linalg::ops::cosine;
+use omega_linalg::DenseMatrix;
+
+/// A learned embedding: `nodes × d`, row-major, rows in original node order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Embedding {
+    nodes: u32,
+    d: usize,
+    data: Vec<f32>,
+}
+
+impl Embedding {
+    /// Build from a dense matrix whose rows are node vectors.
+    pub fn from_matrix(m: &DenseMatrix) -> Embedding {
+        Embedding {
+            nodes: m.rows() as u32,
+            d: m.cols(),
+            data: m.to_row_major(),
+        }
+    }
+
+    /// Build from a raw row-major buffer.
+    pub fn from_row_major(nodes: u32, d: usize, data: Vec<f32>) -> Embedding {
+        assert_eq!(data.len(), nodes as usize * d);
+        Embedding { nodes, d, data }
+    }
+
+    #[inline]
+    pub fn nodes(&self) -> u32 {
+        self.nodes
+    }
+
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.d
+    }
+
+    /// The vector of node `v`.
+    #[inline]
+    pub fn vector(&self, v: u32) -> &[f32] {
+        &self.data[v as usize * self.d..(v as usize + 1) * self.d]
+    }
+
+    /// Raw row-major data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Dot-product score between two nodes (the link-prediction score).
+    pub fn dot(&self, u: u32, v: u32) -> f32 {
+        omega_linalg::ops::dot(self.vector(u), self.vector(v))
+    }
+
+    /// Cosine similarity between two nodes.
+    pub fn cosine(&self, u: u32, v: u32) -> f32 {
+        cosine(self.vector(u), self.vector(v))
+    }
+
+    /// The `k` nearest nodes to `v` by cosine similarity (excluding `v`).
+    pub fn nearest(&self, v: u32, k: usize) -> Vec<(u32, f32)> {
+        let mut scored: Vec<(u32, f32)> = (0..self.nodes)
+            .filter(|&u| u != v)
+            .map(|u| (u, self.cosine(v, u)))
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite similarities"));
+        scored.truncate(k);
+        scored
+    }
+
+    /// L2-normalise every node vector in place.
+    pub fn normalize_rows(&mut self) {
+        for v in 0..self.nodes as usize {
+            let row = &mut self.data[v * self.d..(v + 1) * self.d];
+            omega_linalg::ops::normalize(row);
+        }
+    }
+
+    /// Serialise in the word2vec text format (`nodes d` header then one
+    /// line per node).
+    pub fn to_text(&self) -> String {
+        let mut out = String::with_capacity(self.data.len() * 10);
+        out.push_str(&format!("{} {}\n", self.nodes, self.d));
+        for v in 0..self.nodes {
+            out.push_str(&v.to_string());
+            for x in self.vector(v) {
+                out.push(' ');
+                out.push_str(&format!("{x:.6}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse the word2vec text format.
+    pub fn parse(text: &str) -> Option<Embedding> {
+        let mut lines = text.lines();
+        let mut header = lines.next()?.split_whitespace();
+        let nodes: u32 = header.next()?.parse().ok()?;
+        let d: usize = header.next()?.parse().ok()?;
+        let mut data = vec![0f32; nodes as usize * d];
+        for line in lines {
+            let mut parts = line.split_whitespace();
+            let v: usize = parts.next()?.parse().ok()?;
+            if v >= nodes as usize {
+                return None;
+            }
+            for i in 0..d {
+                data[v * d + i] = parts.next()?.parse().ok()?;
+            }
+        }
+        Some(Embedding { nodes, d, data })
+    }
+
+    /// Payload bytes.
+    pub fn size_bytes(&self) -> u64 {
+        (self.data.len() * 4) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Embedding {
+        // Node 0 and 1 aligned, node 2 orthogonal.
+        Embedding::from_row_major(3, 2, vec![1.0, 0.0, 2.0, 0.0, 0.0, 1.0])
+    }
+
+    #[test]
+    fn vectors_and_scores() {
+        let e = sample();
+        assert_eq!(e.vector(1), &[2.0, 0.0]);
+        assert_eq!(e.dot(0, 1), 2.0);
+        assert!((e.cosine(0, 1) - 1.0).abs() < 1e-6);
+        assert!(e.cosine(0, 2).abs() < 1e-6);
+        assert_eq!(e.nodes(), 3);
+        assert_eq!(e.dim(), 2);
+        assert_eq!(e.size_bytes(), 24);
+    }
+
+    #[test]
+    fn nearest_ranks_by_cosine() {
+        let e = sample();
+        let nn = e.nearest(0, 2);
+        assert_eq!(nn.len(), 2);
+        assert_eq!(nn[0].0, 1);
+        assert_eq!(nn[1].0, 2);
+        let top1 = e.nearest(0, 1);
+        assert_eq!(top1.len(), 1);
+    }
+
+    #[test]
+    fn normalization() {
+        let mut e = sample();
+        e.normalize_rows();
+        for v in 0..3 {
+            let n = omega_linalg::ops::norm2(e.vector(v));
+            assert!((n - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let e = sample();
+        let text = e.to_text();
+        assert!(text.starts_with("3 2\n"));
+        let back = Embedding::parse(&text).unwrap();
+        assert_eq!(back.nodes(), 3);
+        for v in 0..3 {
+            for (a, b) in back.vector(v).iter().zip(e.vector(v)) {
+                assert!((a - b).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Embedding::parse("").is_none());
+        assert!(Embedding::parse("2 2\n5 1 2\n").is_none()); // id out of range
+        assert!(Embedding::parse("1 2\n0 1\n").is_none()); // short row
+    }
+
+    #[test]
+    fn from_matrix_roundtrip() {
+        let m = DenseMatrix::from_row_major(2, 3, &[1., 2., 3., 4., 5., 6.]).unwrap();
+        let e = Embedding::from_matrix(&m);
+        assert_eq!(e.vector(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(e.vector(1), &[4.0, 5.0, 6.0]);
+    }
+}

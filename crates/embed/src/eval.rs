@@ -1,0 +1,204 @@
+//! Embedding-quality evaluation: link-prediction AUC and one-vs-rest
+//! logistic-regression node classification (micro-F1) — the downstream
+//! tasks the paper's §I motivates and §IV-B's quality claim rests on.
+
+use crate::embedding::Embedding;
+use omega_graph::Csr;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Area under the ROC curve for distinguishing true edges from random
+/// non-edges by embedding dot product. 0.5 = chance, 1.0 = perfect.
+pub fn link_prediction_auc(emb: &Embedding, graph: &Csr, samples: usize, seed: u64) -> f64 {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = graph.rows();
+    assert!(n >= 2, "need at least two nodes");
+    let mut pos: Vec<f32> = Vec::with_capacity(samples);
+    let mut neg: Vec<f32> = Vec::with_capacity(samples);
+
+    let mut guard = 0usize;
+    while pos.len() < samples && guard < samples * 100 {
+        guard += 1;
+        let u = rng.gen_range(0..n);
+        let (cols, _) = graph.row(u);
+        if cols.is_empty() {
+            continue;
+        }
+        let v = cols[rng.gen_range(0..cols.len())];
+        pos.push(emb.dot(u, v));
+    }
+    guard = 0;
+    while neg.len() < samples && guard < samples * 100 {
+        guard += 1;
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v || graph.row(u).0.binary_search(&v).is_ok() {
+            continue;
+        }
+        neg.push(emb.dot(u, v));
+    }
+    if pos.is_empty() || neg.is_empty() {
+        return 0.5;
+    }
+
+    // Exact pairwise AUC (ties count half).
+    let mut wins = 0f64;
+    for &p in &pos {
+        for &q in &neg {
+            if p > q {
+                wins += 1.0;
+            } else if p == q {
+                wins += 0.5;
+            }
+        }
+    }
+    wins / (pos.len() * neg.len()) as f64
+}
+
+/// One-vs-rest logistic regression on the embedding, trained with plain
+/// gradient descent; returns micro-F1 (= accuracy for single-label tasks)
+/// on the held-out split.
+pub fn node_classification_micro_f1(
+    emb: &Embedding,
+    labels: &[u32],
+    train_fraction: f64,
+    seed: u64,
+) -> f64 {
+    let n = emb.nodes() as usize;
+    assert_eq!(labels.len(), n);
+    let classes = (*labels.iter().max().expect("non-empty labels") + 1) as usize;
+    let d = emb.dim();
+
+    // Deterministic shuffled split.
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for i in (1..n).rev() {
+        order.swap(i, rng.gen_range(0..=i));
+    }
+    let cut = ((n as f64) * train_fraction).round() as usize;
+    let (train, test) = order.split_at(cut.clamp(1, n - 1));
+
+    // One-vs-rest logistic regression, full-batch gradient descent.
+    let mut weights = vec![vec![0f32; d + 1]; classes]; // +1 bias
+    let lr = 0.5f32;
+    let epochs = 60;
+    for _ in 0..epochs {
+        for (c, w) in weights.iter_mut().enumerate() {
+            let mut grad = vec![0f32; d + 1];
+            for &v in train {
+                let x = emb.vector(v as u32);
+                let y = if labels[v] as usize == c { 1.0 } else { 0.0 };
+                let z: f32 =
+                    w[d] + x.iter().zip(&w[..d]).map(|(a, b)| a * b).sum::<f32>();
+                let p = 1.0 / (1.0 + (-z).exp());
+                let err = p - y;
+                for (g, &xi) in grad.iter_mut().zip(x) {
+                    *g += err * xi;
+                }
+                grad[d] += err;
+            }
+            let scale = lr / train.len() as f32;
+            for (wi, g) in w.iter_mut().zip(&grad) {
+                *wi -= scale * g;
+            }
+        }
+    }
+
+    // Predict argmax score on the test split.
+    let mut correct = 0usize;
+    for &v in test {
+        let x = emb.vector(v as u32);
+        let mut best = (0usize, f32::NEG_INFINITY);
+        for (c, w) in weights.iter().enumerate() {
+            let z: f32 = w[d] + x.iter().zip(&w[..d]).map(|(a, b)| a * b).sum::<f32>();
+            if z > best.1 {
+                best = (c, z);
+            }
+        }
+        if best.0 == labels[v] as usize {
+            correct += 1;
+        }
+    }
+    correct as f64 / test.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omega_graph::{GraphBuilder, SbmConfig};
+
+    /// An embedding that perfectly encodes two cliques.
+    fn two_clique_setup() -> (Embedding, Csr, Vec<u32>) {
+        let n = 40u32;
+        let mut b = GraphBuilder::new(n);
+        for u in 0..20u32 {
+            for v in (u + 1)..20 {
+                b.add_edge(u, v, 1.0).unwrap();
+                b.add_edge(u + 20, v + 20, 1.0).unwrap();
+            }
+        }
+        let g = b.build_csr().unwrap();
+        let mut data = vec![0f32; n as usize * 2];
+        for v in 0..n as usize {
+            if v < 20 {
+                data[v * 2] = 1.0;
+            } else {
+                data[v * 2 + 1] = 1.0;
+            }
+        }
+        let labels = (0..n).map(|v| u32::from(v >= 20)).collect();
+        (Embedding::from_row_major(n, 2, data), g, labels)
+    }
+
+    #[test]
+    fn perfect_embedding_gets_high_auc() {
+        let (emb, g, _) = two_clique_setup();
+        let auc = link_prediction_auc(&emb, &g, 200, 1);
+        // All positives score 1, cross-clique negatives 0, same-clique
+        // non-edges don't exist (cliques) -> near-perfect.
+        assert!(auc > 0.95, "auc={auc}");
+    }
+
+    #[test]
+    fn random_embedding_is_chance_level() {
+        let (_, g, _) = two_clique_setup();
+        let m = omega_linalg::gaussian_matrix(40, 8, 9);
+        let emb = Embedding::from_matrix(&m);
+        let auc = link_prediction_auc(&emb, &g, 300, 2);
+        assert!((auc - 0.5).abs() < 0.15, "auc={auc}");
+    }
+
+    #[test]
+    fn classification_separable_case() {
+        let (emb, _, labels) = two_clique_setup();
+        let f1 = node_classification_micro_f1(&emb, &labels, 0.5, 3);
+        assert!(f1 > 0.95, "f1={f1}");
+    }
+
+    #[test]
+    fn classification_random_embedding_near_chance() {
+        let cfg = SbmConfig::assortative(120, 5);
+        let labels = cfg.labels();
+        let m = omega_linalg::gaussian_matrix(120, 4, 17);
+        let emb = Embedding::from_matrix(&m);
+        let f1 = node_classification_micro_f1(&emb, &labels, 0.6, 4);
+        assert!(f1 < 0.6, "f1={f1} should be near chance (0.25)");
+    }
+
+    #[test]
+    fn auc_handles_degenerate_graphs() {
+        // Nearly-complete graph: negatives are rare; AUC must not hang.
+        let mut b = GraphBuilder::new(6);
+        for u in 0..6u32 {
+            for v in (u + 1)..6 {
+                if !(u == 0 && v == 1) {
+                    b.add_edge(u, v, 1.0).unwrap();
+                }
+            }
+        }
+        let g = b.build_csr().unwrap();
+        let m = omega_linalg::gaussian_matrix(6, 2, 3);
+        let auc = link_prediction_auc(&Embedding::from_matrix(&m), &g, 50, 7);
+        assert!((0.0..=1.0).contains(&auc));
+    }
+}

@@ -1,0 +1,192 @@
+//! Seeded R-MAT graph generator (Chakrabarti et al., SDM 2004) — the paper
+//! uses it for the scalability sweep across graph sizes and densities
+//! (Fig. 17(b)) and we additionally use it to synthesise scaled-down twins
+//! of the Table I datasets.
+
+use crate::builder::GraphBuilder;
+use crate::csr::Csr;
+use crate::edgelist::EdgeList;
+use crate::Result;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// R-MAT parameters. Probabilities (a, b, c, d) weight the four quadrants
+/// at each recursion level; `a ≫ d` yields the heavy-tailed degree skew of
+/// social networks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatConfig {
+    /// Target node count (the id space; isolated nodes may remain).
+    pub nodes: u32,
+    /// Number of undirected edges to sample (before dedup).
+    pub edges: u64,
+    pub a: f64,
+    pub b: f64,
+    pub c: f64,
+    pub d: f64,
+    /// Per-level probability perturbation, breaking the strict
+    /// self-similarity of pure R-MAT (as the original paper recommends).
+    pub noise: f64,
+    pub seed: u64,
+}
+
+impl RmatConfig {
+    /// The classic skewed social-network parameterisation
+    /// (a, b, c, d) = (0.57, 0.19, 0.19, 0.05).
+    pub fn social(nodes: u32, edges: u64, seed: u64) -> Self {
+        RmatConfig {
+            nodes,
+            edges,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            d: 0.05,
+            noise: 0.1,
+            seed,
+        }
+    }
+
+    /// A near-uniform (Erdős–Rényi-like) parameterisation for the dense /
+    /// low-skew end of the Fig. 17(b) sweep.
+    pub fn uniform(nodes: u32, edges: u64, seed: u64) -> Self {
+        RmatConfig {
+            nodes,
+            edges,
+            a: 0.25,
+            b: 0.25,
+            c: 0.25,
+            d: 0.25,
+            noise: 0.0,
+            seed,
+        }
+    }
+
+    /// Levels of recursion needed to cover the id space.
+    fn levels(&self) -> u32 {
+        32 - self.nodes.next_power_of_two().leading_zeros() - 1
+    }
+
+    /// Sample raw edges (may contain duplicates and self-loops; graph
+    /// construction cleans them).
+    pub fn generate_edges(&self) -> EdgeList {
+        assert!(self.nodes >= 2, "R-MAT needs at least 2 nodes");
+        let total = self.a + self.b + self.c + self.d;
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "quadrant probabilities must sum to 1 (got {total})"
+        );
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let levels = self.levels();
+        let mut list = EdgeList::with_capacity(self.edges as usize);
+        while (list.len() as u64) < self.edges {
+            let (mut lo_r, mut lo_c) = (0u64, 0u64);
+            let mut span = 1u64 << levels;
+            while span > 1 {
+                span /= 2;
+                // Perturb the quadrant weights at each level.
+                let jitter = |p: f64, rng: &mut SmallRng| {
+                    (p * (1.0 - self.noise + 2.0 * self.noise * rng.gen::<f64>())).max(1e-9)
+                };
+                let (pa, pb, pc, pd) = (
+                    jitter(self.a, &mut rng),
+                    jitter(self.b, &mut rng),
+                    jitter(self.c, &mut rng),
+                    jitter(self.d, &mut rng),
+                );
+                let norm = pa + pb + pc + pd;
+                let roll = rng.gen::<f64>() * norm;
+                if roll < pa {
+                    // top-left
+                } else if roll < pa + pb {
+                    lo_c += span;
+                } else if roll < pa + pb + pc {
+                    lo_r += span;
+                } else {
+                    lo_r += span;
+                    lo_c += span;
+                }
+            }
+            let (u, v) = (lo_r as u32, lo_c as u32);
+            if u < self.nodes && v < self.nodes && u != v {
+                list.push(u, v, 1.0);
+            }
+        }
+        list
+    }
+
+    /// Generate and build the symmetric CSR adjacency matrix.
+    pub fn generate_csr(&self) -> Result<Csr> {
+        let edges = self.generate_edges();
+        let mut b = GraphBuilder::new(self.nodes);
+        for (u, v, w) in edges.iter() {
+            b.add_edge(u, v, w)?;
+        }
+        b.build_csr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let cfg = RmatConfig::social(1 << 10, 4_000, 42);
+        let a = cfg.generate_edges();
+        let b = cfg.generate_edges();
+        assert_eq!(a, b);
+        let other = RmatConfig::social(1 << 10, 4_000, 43).generate_edges();
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn respects_node_bounds_and_no_self_loops() {
+        let cfg = RmatConfig::social(1000, 3_000, 7); // non-power-of-two id space
+        let edges = cfg.generate_edges();
+        assert_eq!(edges.len() as u64, cfg.edges);
+        for (u, v, _) in edges.iter() {
+            assert!(u < 1000 && v < 1000);
+            assert_ne!(u, v);
+        }
+    }
+
+    #[test]
+    fn social_parameterisation_is_skewed() {
+        let g = RmatConfig::social(1 << 12, 40_000, 1).generate_csr().unwrap();
+        let degs = g.degrees();
+        let max = *degs.iter().max().unwrap();
+        let avg = degs.iter().sum::<u64>() as f64 / degs.len() as f64;
+        // Power-law-ish: the hub is far above the average.
+        assert!(
+            max as f64 > avg * 10.0,
+            "max={max} avg={avg} not skewed enough"
+        );
+    }
+
+    #[test]
+    fn uniform_parameterisation_is_flat() {
+        let g = RmatConfig::uniform(1 << 10, 20_000, 1).generate_csr().unwrap();
+        let degs = g.degrees();
+        let max = *degs.iter().max().unwrap();
+        let avg = degs.iter().sum::<u64>() as f64 / degs.len() as f64;
+        assert!((max as f64) < avg * 3.0, "max={max} avg={avg} too skewed");
+    }
+
+    #[test]
+    fn csr_is_symmetric() {
+        let g = RmatConfig::social(512, 2_000, 9).generate_csr().unwrap();
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn bad_probabilities_panic() {
+        let cfg = RmatConfig {
+            a: 0.5,
+            b: 0.5,
+            c: 0.5,
+            d: 0.5,
+            ..RmatConfig::social(16, 10, 0)
+        };
+        cfg.generate_edges();
+    }
+}

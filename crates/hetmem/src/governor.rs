@@ -1,0 +1,293 @@
+//! Capacity accounting: per-(node, device) usage with typed out-of-memory
+//! failures.
+
+use crate::device::DeviceKind;
+use crate::error::HetMemError;
+use crate::topology::{NodeId, Topology};
+use crate::Result;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// A snapshot of usage for one (node, device) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemUsage {
+    pub used: u64,
+    pub capacity: u64,
+}
+
+impl MemUsage {
+    pub fn available(&self) -> u64 {
+        self.capacity.saturating_sub(self.used)
+    }
+
+    pub fn utilization(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.used as f64 / self.capacity as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Usage {
+    // Indexed [node][device].
+    used: Vec<[u64; 3]>,
+    peak: Vec<[u64; 3]>,
+}
+
+/// Tracks allocations against the topology's capacities.
+///
+/// The governor is what turns "the dense matrices exceed DRAM" into an
+/// observable [`HetMemError::OutOfMemory`], reproducing the paper's OOM rows
+/// in Fig. 12 / Fig. 18(b). It also records peak usage so the ASL partition
+/// formula (Eq. 8–9) can be validated against actual consumption.
+#[derive(Debug)]
+pub struct MemGovernor {
+    topology: Topology,
+    usage: Mutex<Usage>,
+}
+
+impl MemGovernor {
+    pub fn new(topology: Topology) -> Self {
+        let nodes = topology.nodes();
+        MemGovernor {
+            topology,
+            usage: Mutex::new(Usage {
+                used: vec![[0; 3]; nodes],
+                peak: vec![[0; 3]; nodes],
+            }),
+        }
+    }
+
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Reserve `bytes` of `device` on `node`.
+    pub fn allocate(&self, node: NodeId, device: DeviceKind, bytes: u64) -> Result<()> {
+        self.topology.check_node(node)?;
+        let capacity = self.topology.capacity(node, device);
+        if capacity == 0 && bytes > 0 {
+            return Err(HetMemError::DeviceUnavailable { node, device });
+        }
+        let mut usage = self.usage.lock();
+        let used = &mut usage.used[node][device.index()];
+        let available = capacity.saturating_sub(*used);
+        if bytes > available {
+            return Err(HetMemError::OutOfMemory {
+                node,
+                device,
+                requested: bytes,
+                available,
+            });
+        }
+        *used += bytes;
+        let new_used = *used;
+        let peak = &mut usage.peak[node][device.index()];
+        *peak = (*peak).max(new_used);
+        Ok(())
+    }
+
+    /// Release a previous reservation.
+    pub fn free(&self, node: NodeId, device: DeviceKind, bytes: u64) -> Result<()> {
+        self.topology.check_node(node)?;
+        let mut usage = self.usage.lock();
+        let used = &mut usage.used[node][device.index()];
+        if bytes > *used {
+            return Err(HetMemError::AccountingUnderflow {
+                node,
+                device,
+                freed: bytes,
+                in_use: *used,
+            });
+        }
+        *used -= bytes;
+        Ok(())
+    }
+
+    /// Current usage for a (node, device).
+    pub fn usage(&self, node: NodeId, device: DeviceKind) -> MemUsage {
+        let used = self
+            .usage
+            .lock()
+            .used
+            .get(node)
+            .map(|u| u[device.index()])
+            .unwrap_or(0);
+        MemUsage {
+            used,
+            capacity: self.topology.capacity(node, device),
+        }
+    }
+
+    /// Peak usage seen so far for a (node, device).
+    pub fn peak(&self, node: NodeId, device: DeviceKind) -> u64 {
+        self.usage
+            .lock()
+            .peak
+            .get(node)
+            .map(|u| u[device.index()])
+            .unwrap_or(0)
+    }
+
+    /// Machine-wide usage of a device kind.
+    pub fn total_usage(&self, device: DeviceKind) -> MemUsage {
+        let usage = self.usage.lock();
+        let used = usage.used.iter().map(|u| u[device.index()]).sum();
+        MemUsage {
+            used,
+            capacity: self.topology.total_capacity(device),
+        }
+    }
+
+    /// Machine-wide peak usage of a device kind.
+    pub fn total_peak(&self, device: DeviceKind) -> u64 {
+        self.usage
+            .lock()
+            .peak
+            .iter()
+            .map(|u| u[device.index()])
+            .sum()
+    }
+
+    /// Reset peaks (between experiment phases).
+    pub fn reset_peaks(&self) {
+        let mut usage = self.usage.lock();
+        let snapshot = usage.used.clone();
+        usage.peak = snapshot;
+    }
+}
+
+/// RAII capacity reservation: bytes held against a (node, device) until
+/// drop. Used for data whose backing store is not a [`crate::HetVec`]
+/// (e.g. the CSDB arrays owned by the graph crate).
+#[derive(Debug)]
+pub struct MemReservation {
+    governor: std::sync::Arc<MemGovernor>,
+    node: NodeId,
+    device: DeviceKind,
+    bytes: u64,
+}
+
+impl MemReservation {
+    /// Reserve `bytes`; fails with [`HetMemError::OutOfMemory`] when full.
+    pub fn new(
+        governor: std::sync::Arc<MemGovernor>,
+        node: NodeId,
+        device: DeviceKind,
+        bytes: u64,
+    ) -> Result<Self> {
+        governor.allocate(node, device, bytes)?;
+        Ok(MemReservation {
+            governor,
+            node,
+            device,
+            bytes,
+        })
+    }
+
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl Drop for MemReservation {
+    fn drop(&mut self) {
+        let _ = self.governor.free(self.node, self.device, self.bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> MemGovernor {
+        MemGovernor::new(Topology::new(2, 4, 1000, 8000, 100_000).unwrap())
+    }
+
+    #[test]
+    fn allocate_free_roundtrip() {
+        let g = small();
+        g.allocate(0, DeviceKind::Dram, 600).unwrap();
+        assert_eq!(g.usage(0, DeviceKind::Dram).used, 600);
+        assert_eq!(g.usage(0, DeviceKind::Dram).available(), 400);
+        g.free(0, DeviceKind::Dram, 600).unwrap();
+        assert_eq!(g.usage(0, DeviceKind::Dram).used, 0);
+        assert_eq!(g.peak(0, DeviceKind::Dram), 600);
+    }
+
+    #[test]
+    fn oom_is_typed() {
+        let g = small();
+        g.allocate(0, DeviceKind::Dram, 900).unwrap();
+        let err = g.allocate(0, DeviceKind::Dram, 200).unwrap_err();
+        assert!(err.is_oom());
+        match err {
+            HetMemError::OutOfMemory {
+                requested,
+                available,
+                ..
+            } => {
+                assert_eq!(requested, 200);
+                assert_eq!(available, 100);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nodes_account_independently() {
+        let g = small();
+        g.allocate(0, DeviceKind::Dram, 1000).unwrap();
+        g.allocate(1, DeviceKind::Dram, 1000).unwrap();
+        assert_eq!(g.total_usage(DeviceKind::Dram).used, 2000);
+        assert!(g.allocate(0, DeviceKind::Dram, 1).is_err());
+    }
+
+    #[test]
+    fn double_free_detected() {
+        let g = small();
+        g.allocate(0, DeviceKind::Pm, 10).unwrap();
+        g.free(0, DeviceKind::Pm, 10).unwrap();
+        let err = g.free(0, DeviceKind::Pm, 10).unwrap_err();
+        assert!(matches!(err, HetMemError::AccountingUnderflow { .. }));
+    }
+
+    #[test]
+    fn ssd_unavailable_off_node_zero() {
+        let g = small();
+        assert!(g.allocate(0, DeviceKind::Ssd, 10).is_ok());
+        let err = g.allocate(1, DeviceKind::Ssd, 10).unwrap_err();
+        assert!(matches!(err, HetMemError::DeviceUnavailable { .. }));
+    }
+
+    #[test]
+    fn peak_tracking_and_reset() {
+        let g = small();
+        g.allocate(0, DeviceKind::Dram, 800).unwrap();
+        g.free(0, DeviceKind::Dram, 700).unwrap();
+        assert_eq!(g.peak(0, DeviceKind::Dram), 800);
+        g.reset_peaks();
+        assert_eq!(g.peak(0, DeviceKind::Dram), 100);
+        assert_eq!(g.total_peak(DeviceKind::Dram), 100);
+    }
+
+    #[test]
+    fn invalid_node_rejected() {
+        let g = small();
+        assert!(g.allocate(7, DeviceKind::Dram, 1).is_err());
+    }
+
+    #[test]
+    fn reservation_raii() {
+        let g = std::sync::Arc::new(small());
+        {
+            let r = MemReservation::new(g.clone(), 0, DeviceKind::Pm, 100).unwrap();
+            assert_eq!(r.bytes(), 100);
+            assert_eq!(g.usage(0, DeviceKind::Pm).used, 100);
+        }
+        assert_eq!(g.usage(0, DeviceKind::Pm).used, 0);
+        assert!(MemReservation::new(g.clone(), 0, DeviceKind::Dram, 10_000).is_err());
+    }
+}

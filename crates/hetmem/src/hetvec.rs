@@ -1,0 +1,434 @@
+//! Placed, cost-accounted buffers: [`HetVec`] and borrowed [`HetSlice`] views.
+
+use crate::bandwidth::{AccessOp, AccessPattern};
+use crate::device::DeviceKind;
+use crate::governor::MemGovernor;
+use crate::topology::NodeId;
+use crate::tracker::ThreadMem;
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Where a buffer physically lives in the simulated machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Placement {
+    /// Entirely on one device of one NUMA node (app-directed placement).
+    Node { node: NodeId, device: DeviceKind },
+    /// Page-interleaved round-robin across all nodes (the OS `Interleave`
+    /// NUMA policy the paper's "w/o NaDP" baseline uses).
+    Interleaved { device: DeviceKind },
+}
+
+impl Placement {
+    /// Placement on a specific node.
+    pub const fn node(node: NodeId, device: DeviceKind) -> Self {
+        Placement::Node { node, device }
+    }
+
+    /// Interleaved placement on a device kind.
+    pub const fn interleaved(device: DeviceKind) -> Self {
+        Placement::Interleaved { device }
+    }
+
+    /// The backing device kind.
+    pub const fn device(&self) -> DeviceKind {
+        match *self {
+            Placement::Node { device, .. } | Placement::Interleaved { device } => device,
+        }
+    }
+
+    /// The home node, if node-local.
+    pub const fn home_node(&self) -> Option<NodeId> {
+        match *self {
+            Placement::Node { node, .. } => Some(node),
+            Placement::Interleaved { .. } => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Placement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Placement::Node { node, device } => write!(f, "{device}@node{node}"),
+            Placement::Interleaved { device } => write!(f, "{device}@interleaved"),
+        }
+    }
+}
+
+/// RAII lease that returns capacity to the governor when the buffer drops.
+#[derive(Debug)]
+struct Lease {
+    governor: Arc<MemGovernor>,
+    placement: Placement,
+    bytes: u64,
+}
+
+impl Lease {
+    fn acquire(
+        governor: Arc<MemGovernor>,
+        placement: Placement,
+        bytes: u64,
+    ) -> crate::Result<Self> {
+        match placement {
+            Placement::Node { node, device } => governor.allocate(node, device, bytes)?,
+            Placement::Interleaved { device } => {
+                // Round-robin pages: model as an even split, rounding the
+                // remainder onto node 0.
+                let nodes = governor.topology().nodes() as u64;
+                let per = bytes / nodes;
+                let rem = bytes - per * nodes;
+                let mut acquired: Vec<(NodeId, u64)> = Vec::new();
+                for node in 0..nodes as usize {
+                    let amount = per + if node == 0 { rem } else { 0 };
+                    if let Err(e) = governor.allocate(node, device, amount) {
+                        for (n, b) in acquired {
+                            let _ = governor.free(n, device, b);
+                        }
+                        return Err(e);
+                    }
+                    acquired.push((node, amount));
+                }
+            }
+        }
+        Ok(Lease {
+            governor,
+            placement,
+            bytes,
+        })
+    }
+}
+
+impl Drop for Lease {
+    fn drop(&mut self) {
+        match self.placement {
+            Placement::Node { node, device } => {
+                let _ = self.governor.free(node, device, self.bytes);
+            }
+            Placement::Interleaved { device } => {
+                let nodes = self.governor.topology().nodes() as u64;
+                let per = self.bytes / nodes;
+                let rem = self.bytes - per * nodes;
+                for node in 0..nodes as usize {
+                    let amount = per + if node == 0 { rem } else { 0 };
+                    let _ = self.governor.free(node, device, amount);
+                }
+            }
+        }
+    }
+}
+
+/// A typed buffer placed on a simulated memory device.
+///
+/// Element accesses go through a [`ThreadMem`] context that classifies and
+/// charges them. The backing store is an ordinary `Vec<T>` — the simulation
+/// costs nothing at the data level and everything at the accounting level.
+#[derive(Debug)]
+pub struct HetVec<T> {
+    data: Vec<T>,
+    placement: Placement,
+    _lease: Option<Lease>,
+}
+
+impl<T: Copy> HetVec<T> {
+    /// Wrap existing data with a placement, reserving capacity from the
+    /// governor. Fails with [`crate::HetMemError::OutOfMemory`] if the device
+    /// is full.
+    pub fn with_governor(
+        governor: Arc<MemGovernor>,
+        placement: Placement,
+        data: Vec<T>,
+    ) -> crate::Result<Self> {
+        let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
+        let lease = Lease::acquire(governor, placement, bytes)?;
+        Ok(HetVec {
+            data,
+            placement,
+            _lease: Some(lease),
+        })
+    }
+
+    /// Wrap data without capacity accounting (unit tests / scratch buffers).
+    pub fn unaccounted(placement: Placement, data: Vec<T>) -> Self {
+        HetVec {
+            data,
+            placement,
+            _lease: None,
+        }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    #[inline]
+    pub fn placement(&self) -> Placement {
+        self.placement
+    }
+
+    /// Payload size in bytes.
+    #[inline]
+    pub fn size_bytes(&self) -> u64 {
+        (self.data.len() * std::mem::size_of::<T>()) as u64
+    }
+
+    /// Read one element, charging the access.
+    #[inline]
+    pub fn get(&self, i: usize, pattern: AccessPattern, ctx: &mut ThreadMem) -> T {
+        ctx.charge_access(
+            self.placement,
+            AccessOp::Read,
+            pattern,
+            std::mem::size_of::<T>() as u64,
+        );
+        self.data[i]
+    }
+
+    /// Write one element, charging the access.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: T, pattern: AccessPattern, ctx: &mut ThreadMem) {
+        ctx.charge_access(
+            self.placement,
+            AccessOp::Write,
+            pattern,
+            std::mem::size_of::<T>() as u64,
+        );
+        self.data[i] = value;
+    }
+
+    /// Borrow a contiguous range, charging one sequential streamed read of
+    /// the whole range.
+    pub fn read_block(&self, range: Range<usize>, ctx: &mut ThreadMem) -> &[T] {
+        let bytes = (range.len() * std::mem::size_of::<T>()) as u64;
+        ctx.charge_block(self.placement, AccessOp::Read, AccessPattern::Seq, bytes, 1);
+        &self.data[range]
+    }
+
+    /// Overwrite a contiguous range from `src`, charging one sequential
+    /// streamed write.
+    pub fn write_block(&mut self, start: usize, src: &[T], ctx: &mut ThreadMem) {
+        let bytes = (src.len() * std::mem::size_of::<T>()) as u64;
+        ctx.charge_block(self.placement, AccessOp::Write, AccessPattern::Seq, bytes, 1);
+        self.data[start..start + src.len()].copy_from_slice(src);
+    }
+
+    /// A charged sub-slice view for kernels that partition work (NaDP).
+    pub fn slice(&self, range: Range<usize>) -> HetSlice<'_, T> {
+        HetSlice {
+            data: &self.data[range],
+            placement: self.placement,
+        }
+    }
+
+    /// Full-buffer view.
+    pub fn as_het_slice(&self) -> HetSlice<'_, T> {
+        self.slice(0..self.data.len())
+    }
+
+    /// Raw data access, bypassing accounting. For initialization and result
+    /// extraction only — kernel code must use the charged accessors.
+    #[inline]
+    pub fn raw(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Raw mutable access, bypassing accounting. See [`HetVec::raw`].
+    #[inline]
+    pub fn raw_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consume, returning the backing vector (releases the lease).
+    pub fn into_inner(self) -> Vec<T> {
+        self.data
+    }
+}
+
+/// A borrowed, placed view over part of a [`HetVec`]. Carries the parent's
+/// placement so accesses are classified identically.
+#[derive(Debug, Clone, Copy)]
+pub struct HetSlice<'a, T> {
+    data: &'a [T],
+    placement: Placement,
+}
+
+impl<'a, T: Copy> HetSlice<'a, T> {
+    /// Build a view over a plain slice with an explicit placement.
+    pub fn new(data: &'a [T], placement: Placement) -> Self {
+        HetSlice { data, placement }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    #[inline]
+    pub fn placement(&self) -> Placement {
+        self.placement
+    }
+
+    /// Read one element, charging the access.
+    #[inline]
+    pub fn get(&self, i: usize, pattern: AccessPattern, ctx: &mut ThreadMem) -> T {
+        ctx.charge_access(
+            self.placement,
+            AccessOp::Read,
+            pattern,
+            std::mem::size_of::<T>() as u64,
+        );
+        self.data[i]
+    }
+
+    /// Charged sequential read of a range as a single streamed access.
+    pub fn read_block(&self, range: Range<usize>, ctx: &mut ThreadMem) -> &'a [T] {
+        let bytes = (range.len() * std::mem::size_of::<T>()) as u64;
+        ctx.charge_block(self.placement, AccessOp::Read, AccessPattern::Seq, bytes, 1);
+        &self.data[range]
+    }
+
+    /// Uncharged raw view.
+    #[inline]
+    pub fn raw(&self) -> &'a [T] {
+        self.data
+    }
+
+    /// Sub-view.
+    pub fn slice(&self, range: Range<usize>) -> HetSlice<'a, T> {
+        HetSlice {
+            data: &self.data[range],
+            placement: self.placement,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bandwidth::{AccessClass, Locality};
+    use crate::topology::Topology;
+
+    fn system() -> Arc<MemGovernor> {
+        Arc::new(MemGovernor::new(
+            Topology::new(2, 4, 4096, 32768, 1 << 20).unwrap(),
+        ))
+    }
+
+    #[test]
+    fn lease_accounts_and_releases() {
+        let g = system();
+        {
+            let v = HetVec::with_governor(
+                g.clone(),
+                Placement::node(0, DeviceKind::Dram),
+                vec![0u64; 64],
+            )
+            .unwrap();
+            assert_eq!(v.size_bytes(), 512);
+            assert_eq!(g.usage(0, DeviceKind::Dram).used, 512);
+        }
+        assert_eq!(g.usage(0, DeviceKind::Dram).used, 0);
+    }
+
+    #[test]
+    fn oom_propagates() {
+        let g = system();
+        let err = HetVec::with_governor(
+            g,
+            Placement::node(0, DeviceKind::Dram),
+            vec![0u64; 1024], // 8 KiB > 4 KiB DRAM
+        )
+        .unwrap_err();
+        assert!(err.is_oom());
+    }
+
+    #[test]
+    fn interleaved_lease_splits_and_rolls_back() {
+        let g = system();
+        let v = HetVec::with_governor(
+            g.clone(),
+            Placement::interleaved(DeviceKind::Dram),
+            vec![0u8; 1000],
+        )
+        .unwrap();
+        assert_eq!(g.usage(0, DeviceKind::Dram).used, 500);
+        assert_eq!(g.usage(1, DeviceKind::Dram).used, 500);
+        drop(v);
+        assert_eq!(g.usage(0, DeviceKind::Dram).used, 0);
+
+        // A buffer that fits on one node's worth but not per-node split:
+        // 4096 per node is the cap; 9000 interleaved needs 4500 per node.
+        let err = HetVec::with_governor(
+            g.clone(),
+            Placement::interleaved(DeviceKind::Dram),
+            vec![0u8; 9000],
+        )
+        .unwrap_err();
+        assert!(err.is_oom());
+        // Rollback left no residue.
+        assert_eq!(g.usage(0, DeviceKind::Dram).used, 0);
+        assert_eq!(g.usage(1, DeviceKind::Dram).used, 0);
+    }
+
+    #[test]
+    fn charged_reads_and_writes() {
+        let mut v = HetVec::unaccounted(Placement::node(1, DeviceKind::Pm), vec![1.0f64; 16]);
+        let mut ctx = ThreadMem::new(0, 2);
+        let x = v.get(3, AccessPattern::Rand, &mut ctx);
+        assert_eq!(x, 1.0);
+        v.set(3, 2.0, AccessPattern::Seq, &mut ctx);
+        assert_eq!(v.raw()[3], 2.0);
+        let remote_rand_read = ctx.counters().get(AccessClass::new(
+            DeviceKind::Pm,
+            Locality::Remote,
+            AccessOp::Read,
+            AccessPattern::Rand,
+        ));
+        assert_eq!(remote_rand_read.bytes, 8);
+        assert_eq!(remote_rand_read.media_bytes, 256);
+    }
+
+    #[test]
+    fn block_ops_stream() {
+        let mut v = HetVec::unaccounted(Placement::node(0, DeviceKind::Dram), vec![0u32; 100]);
+        let mut ctx = ThreadMem::new(0, 2);
+        v.write_block(10, &[7; 20], &mut ctx);
+        let got = v.read_block(10..30, &mut ctx);
+        assert!(got.iter().all(|&x| x == 7));
+        assert_eq!(ctx.counters().total_accesses(), 2);
+        assert_eq!(ctx.counters().total_bytes(), 160);
+    }
+
+    #[test]
+    fn slices_carry_placement() {
+        let v = HetVec::unaccounted(Placement::node(1, DeviceKind::Pm), vec![5i32; 10]);
+        let s = v.slice(2..8);
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.placement(), v.placement());
+        let mut ctx = ThreadMem::new(1, 2);
+        assert_eq!(s.get(0, AccessPattern::Seq, &mut ctx), 5);
+        let s2 = s.slice(1..3);
+        assert_eq!(s2.len(), 2);
+    }
+
+    #[test]
+    fn placement_helpers() {
+        let p = Placement::node(1, DeviceKind::Pm);
+        assert_eq!(p.device(), DeviceKind::Pm);
+        assert_eq!(p.home_node(), Some(1));
+        let q = Placement::interleaved(DeviceKind::Dram);
+        assert_eq!(q.home_node(), None);
+        assert_eq!(format!("{p}"), "PM@node1");
+        assert_eq!(format!("{q}"), "DRAM@interleaved");
+    }
+}

@@ -1,0 +1,122 @@
+//! OS-style NUMA allocation policies.
+//!
+//! The paper contrasts its application-managed NaDP placement with the
+//! OS-provided policies (§III-D): **Local** (allocate on a preferred node,
+//! spilling elsewhere when full) and **Interleaved** (round-robin pages
+//! across nodes). These are the policies the `OMeGa-w/o-NaDP` baseline uses.
+
+use crate::device::DeviceKind;
+use crate::governor::MemGovernor;
+use crate::hetvec::Placement;
+use crate::topology::{NodeId, Topology};
+use serde::{Deserialize, Serialize};
+
+/// How an allocation without an explicit placement is sited.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// Allocate on the preferred node; spill to the next node with free
+    /// capacity when the preferred device is full (the `numactl --preferred`
+    /// behaviour).
+    Local { preferred: NodeId },
+    /// Page-interleave across all nodes (the `numactl --interleave=all`
+    /// behaviour; the paper's "w/o NaDP" configuration).
+    Interleave,
+    /// Round-robin whole allocations across home nodes; allocation `i` lands
+    /// on node `i % sockets`. A coarse-grained interleave used when whole
+    /// objects should stay node-local but load should spread.
+    RoundRobinNodes,
+}
+
+impl PlacementPolicy {
+    /// Resolve the placement for the `alloc_index`-th allocation of `device`
+    /// memory. `governor` is consulted by `Local` for spill decisions given
+    /// the allocation size.
+    pub fn placement(
+        &self,
+        device: DeviceKind,
+        alloc_index: usize,
+        bytes: u64,
+        governor: &MemGovernor,
+    ) -> Placement {
+        let topo: &Topology = governor.topology();
+        match *self {
+            PlacementPolicy::Local { preferred } => {
+                let nodes = topo.nodes();
+                // Try preferred first, then others in order.
+                for offset in 0..nodes {
+                    let node = (preferred + offset) % nodes;
+                    if governor.usage(node, device).available() >= bytes {
+                        return Placement::node(node, device);
+                    }
+                }
+                // Nothing fits anywhere; return the preferred node so the
+                // allocation fails there with a truthful OOM.
+                Placement::node(preferred, device)
+            }
+            PlacementPolicy::Interleave => Placement::interleaved(device),
+            PlacementPolicy::RoundRobinNodes => {
+                Placement::node(alloc_index % topo.nodes(), device)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+
+    fn governor() -> MemGovernor {
+        MemGovernor::new(Topology::new(2, 4, 1000, 8000, 0).unwrap())
+    }
+
+    #[test]
+    fn local_prefers_then_spills() {
+        let g = governor();
+        let p = PlacementPolicy::Local { preferred: 0 };
+        assert_eq!(
+            p.placement(DeviceKind::Dram, 0, 600, &g),
+            Placement::node(0, DeviceKind::Dram)
+        );
+        g.allocate(0, DeviceKind::Dram, 600).unwrap();
+        // 600 no longer fits on node 0 -> spill to node 1.
+        assert_eq!(
+            p.placement(DeviceKind::Dram, 1, 600, &g),
+            Placement::node(1, DeviceKind::Dram)
+        );
+        g.allocate(1, DeviceKind::Dram, 600).unwrap();
+        // Nowhere fits: returns preferred so the OOM is reported there.
+        assert_eq!(
+            p.placement(DeviceKind::Dram, 2, 600, &g),
+            Placement::node(0, DeviceKind::Dram)
+        );
+    }
+
+    #[test]
+    fn interleave_is_interleaved() {
+        let g = governor();
+        let p = PlacementPolicy::Interleave;
+        assert_eq!(
+            p.placement(DeviceKind::Pm, 3, 10, &g),
+            Placement::interleaved(DeviceKind::Pm)
+        );
+    }
+
+    #[test]
+    fn round_robin_cycles_nodes() {
+        let g = governor();
+        let p = PlacementPolicy::RoundRobinNodes;
+        assert_eq!(
+            p.placement(DeviceKind::Pm, 0, 10, &g),
+            Placement::node(0, DeviceKind::Pm)
+        );
+        assert_eq!(
+            p.placement(DeviceKind::Pm, 1, 10, &g),
+            Placement::node(1, DeviceKind::Pm)
+        );
+        assert_eq!(
+            p.placement(DeviceKind::Pm, 2, 10, &g),
+            Placement::node(0, DeviceKind::Pm)
+        );
+    }
+}

@@ -1,0 +1,480 @@
+//! Per-thread access accounting: counters and the [`ThreadMem`] context that
+//! kernels charge their classified accesses to.
+
+use crate::bandwidth::{AccessClass, AccessOp, AccessPattern, Locality, NUM_CLASSES};
+use crate::device::DeviceKind;
+use crate::hetvec::Placement;
+use crate::topology::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Accumulated traffic for one access class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter {
+    /// Useful (payload) bytes requested by the kernel.
+    pub bytes: u64,
+    /// Bytes actually moved on the media: for random accesses each access is
+    /// rounded up to the device granularity (64 B line / 256 B XPLine /
+    /// 4 KiB page), which is what the bandwidth model bills.
+    pub media_bytes: u64,
+    /// Number of discrete accesses (used for SSD per-IO latency and for the
+    /// throughput statistics of Fig. 16).
+    pub accesses: u64,
+}
+
+/// Dense per-class counter table for one simulated thread (or one merged
+/// phase). Cheap to update: one array index plus three additions per access.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassCounters {
+    classes: [Counter; NUM_CLASSES],
+    cpu_ops: u64,
+}
+
+impl Default for ClassCounters {
+    fn default() -> Self {
+        ClassCounters {
+            classes: [Counter::default(); NUM_CLASSES],
+            cpu_ops: 0,
+        }
+    }
+}
+
+impl ClassCounters {
+    /// Charge `bytes` payload / `media_bytes` media traffic as `accesses`
+    /// discrete accesses of the given class.
+    #[inline]
+    pub fn charge(&mut self, class: AccessClass, bytes: u64, media_bytes: u64, accesses: u64) {
+        let c = &mut self.classes[class.index()];
+        c.bytes += bytes;
+        c.media_bytes += media_bytes;
+        c.accesses += accesses;
+    }
+
+    /// Counter for one class.
+    #[inline]
+    pub fn get(&self, class: AccessClass) -> Counter {
+        self.classes[class.index()]
+    }
+
+    /// Record scalar CPU work (multiply-accumulates etc.).
+    #[inline]
+    pub fn add_cpu_ops(&mut self, ops: u64) {
+        self.cpu_ops += ops;
+    }
+
+    #[inline]
+    pub fn cpu_ops(&self) -> u64 {
+        self.cpu_ops
+    }
+
+    /// Merge another thread's counters into this one.
+    pub fn merge(&mut self, other: &ClassCounters) {
+        for i in 0..NUM_CLASSES {
+            self.classes[i].bytes += other.classes[i].bytes;
+            self.classes[i].media_bytes += other.classes[i].media_bytes;
+            self.classes[i].accesses += other.classes[i].accesses;
+        }
+        self.cpu_ops += other.cpu_ops;
+    }
+
+    /// Total payload bytes across classes matching a predicate.
+    pub fn bytes_where(&self, mut pred: impl FnMut(AccessClass) -> bool) -> u64 {
+        AccessClass::all()
+            .filter(|&c| pred(c))
+            .map(|c| self.get(c).bytes)
+            .sum()
+    }
+
+    /// Total payload bytes moved.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_where(|_| true)
+    }
+
+    /// Total discrete accesses.
+    pub fn total_accesses(&self) -> u64 {
+        AccessClass::all().map(|c| self.get(c).accesses).sum()
+    }
+
+    /// Fraction of payload bytes that crossed the socket interconnect — the
+    /// statistic the paper collects with VTune (§III-D, ">43% remote").
+    pub fn remote_fraction(&self) -> f64 {
+        let total = self.total_bytes();
+        if total == 0 {
+            return 0.0;
+        }
+        self.bytes_where(|c| c.locality == Locality::Remote) as f64 / total as f64
+    }
+
+    /// Fraction of payload bytes that were random-pattern accesses.
+    pub fn random_fraction(&self) -> f64 {
+        let total = self.total_bytes();
+        if total == 0 {
+            return 0.0;
+        }
+        self.bytes_where(|c| c.pattern == AccessPattern::Rand) as f64 / total as f64
+    }
+}
+
+/// The per-simulated-thread memory context.
+///
+/// A kernel running as simulated thread `t` bound to NUMA node `node`
+/// performs all its [`crate::HetVec`] accesses through one `ThreadMem`; the
+/// context classifies each access (deriving [`Locality`] from its node vs.
+/// the buffer placement) and accumulates counters. `ThreadMem` is plain data
+/// — one per thread, no sharing, no locks on the hot path.
+#[derive(Debug, Clone)]
+pub struct ThreadMem {
+    node: NodeId,
+    sockets: usize,
+    counters: ClassCounters,
+}
+
+impl ThreadMem {
+    /// Create a context for a thread bound to `node` on a machine with
+    /// `sockets` NUMA nodes (needed to resolve interleaved placements).
+    pub fn new(node: NodeId, sockets: usize) -> Self {
+        ThreadMem {
+            node,
+            sockets: sockets.max(1),
+            counters: ClassCounters::default(),
+        }
+    }
+
+    /// The NUMA node this thread is bound to.
+    #[inline]
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Rebind the context to another node (used by NaDP phase changes).
+    pub fn set_node(&mut self, node: NodeId) {
+        self.node = node;
+    }
+
+    /// Accumulated counters.
+    #[inline]
+    pub fn counters(&self) -> &ClassCounters {
+        &self.counters
+    }
+
+    /// Take the counters, resetting the context.
+    pub fn take_counters(&mut self) -> ClassCounters {
+        std::mem::take(&mut self.counters)
+    }
+
+    /// Record scalar CPU work.
+    #[inline]
+    pub fn add_cpu_ops(&mut self, ops: u64) {
+        self.counters.add_cpu_ops(ops);
+    }
+
+    /// Charge a single element access of `elem_bytes` payload to a buffer
+    /// with the given placement.
+    #[inline]
+    pub fn charge_access(
+        &mut self,
+        placement: Placement,
+        op: AccessOp,
+        pattern: AccessPattern,
+        elem_bytes: u64,
+    ) {
+        self.charge_block(placement, op, pattern, elem_bytes, 1);
+    }
+
+    /// Charge a contiguous block of `bytes` transferred in `accesses`
+    /// discrete accesses (1 for a streamed block).
+    #[inline]
+    pub fn charge_block(
+        &mut self,
+        placement: Placement,
+        op: AccessOp,
+        pattern: AccessPattern,
+        bytes: u64,
+        accesses: u64,
+    ) {
+        match placement {
+            Placement::Node { node, device } => {
+                let locality = if node == self.node {
+                    Locality::Local
+                } else {
+                    Locality::Remote
+                };
+                self.charge_resolved(device, locality, op, pattern, bytes, accesses);
+            }
+            Placement::Interleaved { device } => {
+                // Page-interleaved allocation: 1/sockets of the traffic is
+                // local, the rest remote.
+                let local = bytes / self.sockets as u64;
+                let remote = bytes - local;
+                let acc_local = accesses / self.sockets as u64;
+                let acc_remote = accesses - acc_local;
+                if local > 0 || acc_local > 0 {
+                    self.charge_resolved(device, Locality::Local, op, pattern, local, acc_local);
+                }
+                if remote > 0 || acc_remote > 0 {
+                    self.charge_resolved(device, Locality::Remote, op, pattern, remote, acc_remote);
+                }
+            }
+        }
+    }
+
+    /// Charge random accesses with an explicit count of *distinct media
+    /// units* touched. Dense workloads with long rows revisit the same
+    /// 64 B line / 256 B XPLine many times within one column pass; the
+    /// caller computes the expected distinct-unit count (spatial locality)
+    /// and the media traffic is billed per unit instead of per access —
+    /// the physical mechanism behind the paper's scatter factor `W_sca`.
+    #[inline]
+    pub fn charge_rand_distinct(
+        &mut self,
+        placement: Placement,
+        op: AccessOp,
+        bytes: u64,
+        accesses: u64,
+        distinct_units: u64,
+    ) {
+        match placement {
+            Placement::Node { node, device } => {
+                let locality = if node == self.node {
+                    Locality::Local
+                } else {
+                    Locality::Remote
+                };
+                self.counters.charge(
+                    AccessClass::new(device, locality, op, AccessPattern::Rand),
+                    bytes,
+                    distinct_units * device.access_granularity(),
+                    accesses,
+                );
+            }
+            Placement::Interleaved { device } => {
+                let n = self.sockets as u64;
+                self.counters.charge(
+                    AccessClass::new(device, Locality::Local, op, AccessPattern::Rand),
+                    bytes / n,
+                    distinct_units / n * device.access_granularity(),
+                    accesses / n,
+                );
+                self.counters.charge(
+                    AccessClass::new(device, Locality::Remote, op, AccessPattern::Rand),
+                    bytes - bytes / n,
+                    (distinct_units - distinct_units / n) * device.access_granularity(),
+                    accesses - accesses / n,
+                );
+            }
+        }
+    }
+
+    #[inline]
+    fn charge_resolved(
+        &mut self,
+        device: DeviceKind,
+        locality: Locality,
+        op: AccessOp,
+        pattern: AccessPattern,
+        bytes: u64,
+        accesses: u64,
+    ) {
+        let media = match pattern {
+            AccessPattern::Seq => bytes,
+            // Each random access moves at least one media granularity unit;
+            // larger payloads bill their (ceiling) per-access size.
+            AccessPattern::Rand => {
+                let per_access = if accesses == 0 {
+                    0
+                } else {
+                    bytes.div_ceil(accesses)
+                };
+                accesses.max(1) * device.access_granularity().max(per_access)
+            }
+        };
+        self.counters.charge(
+            AccessClass::new(device, locality, op, pattern),
+            bytes,
+            media,
+            accesses,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pm_on(node: NodeId) -> Placement {
+        Placement::node(node, DeviceKind::Pm)
+    }
+
+    #[test]
+    fn locality_resolution() {
+        let mut ctx = ThreadMem::new(0, 2);
+        ctx.charge_access(pm_on(0), AccessOp::Read, AccessPattern::Seq, 8);
+        ctx.charge_access(pm_on(1), AccessOp::Read, AccessPattern::Seq, 8);
+        let local = ctx.counters().get(AccessClass::new(
+            DeviceKind::Pm,
+            Locality::Local,
+            AccessOp::Read,
+            AccessPattern::Seq,
+        ));
+        let remote = ctx.counters().get(AccessClass::new(
+            DeviceKind::Pm,
+            Locality::Remote,
+            AccessOp::Read,
+            AccessPattern::Seq,
+        ));
+        assert_eq!(local.bytes, 8);
+        assert_eq!(remote.bytes, 8);
+        assert!((ctx.counters().remote_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_access_bills_media_granularity() {
+        let mut ctx = ThreadMem::new(0, 2);
+        // One 8-byte random read from PM moves a 256 B XPLine.
+        ctx.charge_access(pm_on(0), AccessOp::Read, AccessPattern::Rand, 8);
+        let c = ctx.counters().get(AccessClass::new(
+            DeviceKind::Pm,
+            Locality::Local,
+            AccessOp::Read,
+            AccessPattern::Rand,
+        ));
+        assert_eq!(c.bytes, 8);
+        assert_eq!(c.media_bytes, 256);
+        assert_eq!(c.accesses, 1);
+    }
+
+    #[test]
+    fn random_block_larger_than_granularity_bills_payload() {
+        let mut ctx = ThreadMem::new(0, 2);
+        // A 4 KiB random read from DRAM moves 4 KiB, not 64 B.
+        ctx.charge_block(
+            Placement::node(0, DeviceKind::Dram),
+            AccessOp::Read,
+            AccessPattern::Rand,
+            4096,
+            1,
+        );
+        let c = ctx.counters().get(AccessClass::new(
+            DeviceKind::Dram,
+            Locality::Local,
+            AccessOp::Read,
+            AccessPattern::Rand,
+        ));
+        assert_eq!(c.media_bytes, 4096);
+    }
+
+    #[test]
+    fn sequential_access_bills_payload() {
+        let mut ctx = ThreadMem::new(1, 2);
+        ctx.charge_block(pm_on(1), AccessOp::Write, AccessPattern::Seq, 1000, 1);
+        let c = ctx.counters().get(AccessClass::new(
+            DeviceKind::Pm,
+            Locality::Local,
+            AccessOp::Write,
+            AccessPattern::Seq,
+        ));
+        assert_eq!(c.bytes, 1000);
+        assert_eq!(c.media_bytes, 1000);
+    }
+
+    #[test]
+    fn interleaved_splits_traffic() {
+        let mut ctx = ThreadMem::new(0, 2);
+        ctx.charge_block(
+            Placement::Interleaved {
+                device: DeviceKind::Dram,
+            },
+            AccessOp::Read,
+            AccessPattern::Seq,
+            1000,
+            2,
+        );
+        let counters = ctx.counters();
+        let local = counters.bytes_where(|c| c.locality == Locality::Local);
+        let remote = counters.bytes_where(|c| c.locality == Locality::Remote);
+        assert_eq!(local, 500);
+        assert_eq!(remote, 500);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ClassCounters::default();
+        let mut b = ClassCounters::default();
+        let c = AccessClass::new(
+            DeviceKind::Dram,
+            Locality::Local,
+            AccessOp::Read,
+            AccessPattern::Seq,
+        );
+        a.charge(c, 10, 10, 1);
+        a.add_cpu_ops(5);
+        b.charge(c, 20, 20, 2);
+        b.add_cpu_ops(7);
+        a.merge(&b);
+        assert_eq!(a.get(c).bytes, 30);
+        assert_eq!(a.get(c).accesses, 3);
+        assert_eq!(a.cpu_ops(), 12);
+        assert_eq!(a.total_bytes(), 30);
+        assert_eq!(a.total_accesses(), 3);
+    }
+
+    #[test]
+    fn take_counters_resets() {
+        let mut ctx = ThreadMem::new(0, 1);
+        ctx.add_cpu_ops(3);
+        let taken = ctx.take_counters();
+        assert_eq!(taken.cpu_ops(), 3);
+        assert_eq!(ctx.counters().cpu_ops(), 0);
+    }
+
+    #[test]
+    fn rand_distinct_bills_units_not_accesses() {
+        let mut ctx = ThreadMem::new(0, 2);
+        // 1000 accesses but only 5 distinct 256 B XPLines touched.
+        ctx.charge_rand_distinct(pm_on(0), AccessOp::Read, 4000, 1000, 5);
+        let c = ctx.counters().get(AccessClass::new(
+            DeviceKind::Pm,
+            Locality::Local,
+            AccessOp::Read,
+            AccessPattern::Rand,
+        ));
+        assert_eq!(c.bytes, 4000);
+        assert_eq!(c.accesses, 1000);
+        assert_eq!(c.media_bytes, 5 * 256);
+    }
+
+    #[test]
+    fn rand_distinct_interleaved_splits() {
+        let mut ctx = ThreadMem::new(0, 2);
+        ctx.charge_rand_distinct(
+            Placement::interleaved(DeviceKind::Pm),
+            AccessOp::Read,
+            800,
+            100,
+            10,
+        );
+        let counters = ctx.counters();
+        assert_eq!(counters.total_bytes(), 800);
+        assert_eq!(counters.total_accesses(), 100);
+        let local = counters.get(AccessClass::new(
+            DeviceKind::Pm,
+            Locality::Local,
+            AccessOp::Read,
+            AccessPattern::Rand,
+        ));
+        let remote = counters.get(AccessClass::new(
+            DeviceKind::Pm,
+            Locality::Remote,
+            AccessOp::Read,
+            AccessPattern::Rand,
+        ));
+        assert_eq!(local.media_bytes + remote.media_bytes, 10 * 256);
+    }
+
+    #[test]
+    fn random_fraction() {
+        let mut ctx = ThreadMem::new(0, 1);
+        ctx.charge_block(pm_on(0), AccessOp::Read, AccessPattern::Seq, 75, 1);
+        ctx.charge_access(pm_on(0), AccessOp::Read, AccessPattern::Rand, 25);
+        assert!((ctx.counters().random_fraction() - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,169 @@
+//! Property-based tests of the memory substrate's accounting invariants.
+
+use omega_hetmem::{
+    AccessClass, AccessOp, AccessPattern, BandwidthModel, ClassCounters, DeviceKind, Locality,
+    MemGovernor, Placement, SimDuration, ThreadMem, Topology,
+};
+use proptest::prelude::*;
+
+fn arb_device() -> impl Strategy<Value = DeviceKind> {
+    prop_oneof![
+        Just(DeviceKind::Dram),
+        Just(DeviceKind::Pm),
+        Just(DeviceKind::Ssd)
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = AccessOp> {
+    prop_oneof![Just(AccessOp::Read), Just(AccessOp::Write)]
+}
+
+fn arb_pattern() -> impl Strategy<Value = AccessPattern> {
+    prop_oneof![Just(AccessPattern::Seq), Just(AccessPattern::Rand)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Payload bytes are conserved exactly through any sequence of charges,
+    /// node-local or interleaved.
+    #[test]
+    fn charges_conserve_bytes(
+        ops in proptest::collection::vec(
+            (arb_device(), arb_op(), arb_pattern(), 0u64..10_000, 0u64..64, any::<bool>()),
+            1..40,
+        )
+    ) {
+        let mut ctx = ThreadMem::new(0, 2);
+        let mut expected = 0u64;
+        for (device, op, pattern, bytes, accesses, interleave) in ops {
+            let placement = if interleave {
+                Placement::interleaved(device)
+            } else {
+                Placement::node(1, device)
+            };
+            ctx.charge_block(placement, op, pattern, bytes, accesses);
+            expected += bytes;
+        }
+        prop_assert_eq!(ctx.counters().total_bytes(), expected);
+    }
+
+    /// Media bytes are never less than payload bytes (granularity rounding
+    /// only ever inflates traffic) for node-local charges.
+    #[test]
+    fn media_at_least_payload(
+        device in arb_device(),
+        op in arb_op(),
+        pattern in arb_pattern(),
+        bytes in 1u64..100_000,
+        accesses in 1u64..256,
+    ) {
+        let mut ctx = ThreadMem::new(0, 2);
+        ctx.charge_block(Placement::node(0, device), op, pattern, bytes, accesses);
+        let ctr = ctx.counters().get(AccessClass::new(
+            device,
+            Locality::Local,
+            op,
+            pattern,
+        ));
+        prop_assert!(ctr.media_bytes >= ctr.bytes.min(bytes));
+        if pattern == AccessPattern::Seq {
+            prop_assert_eq!(ctr.media_bytes, bytes);
+        }
+    }
+
+    /// Simulated thread time is monotone in traffic: adding more charges
+    /// never makes a thread faster.
+    #[test]
+    fn thread_time_is_monotone(
+        base_bytes in 1u64..1_000_000,
+        extra_bytes in 1u64..1_000_000,
+        threads in 1u32..64,
+        device in arb_device(),
+    ) {
+        let model = BandwidthModel::paper_machine();
+        let mut a = ClassCounters::default();
+        let class = AccessClass::new(device, Locality::Local, AccessOp::Read, AccessPattern::Seq);
+        a.charge(class, base_bytes, base_bytes, 1);
+        let mut b = a.clone();
+        b.charge(class, extra_bytes, extra_bytes, 1);
+        prop_assert!(model.thread_time(&b, threads) >= model.thread_time(&a, threads));
+    }
+
+    /// A device-saturated stream is never slower than one thread of a pool
+    /// doing the same traffic.
+    #[test]
+    fn stream_time_lower_bounds_thread_time(
+        bytes in 1u64..10_000_000,
+        threads in 1u32..64,
+        device in arb_device(),
+        pattern in arb_pattern(),
+    ) {
+        let model = BandwidthModel::paper_machine();
+        let mut c = ClassCounters::default();
+        let class = AccessClass::new(device, Locality::Local, AccessOp::Read, pattern);
+        c.charge(class, bytes, bytes, bytes / 4096 + 1);
+        prop_assert!(model.stream_time(&c) <= model.thread_time(&c, threads));
+    }
+
+    /// Governor accounting: any alloc/free sequence that frees exactly what
+    /// it allocated ends with zero usage; usage never exceeds capacity.
+    #[test]
+    fn governor_accounting_balances(
+        sizes in proptest::collection::vec(1u64..5_000, 1..30)
+    ) {
+        let g = MemGovernor::new(Topology::new(2, 4, 1 << 20, 1 << 23, 1 << 24).unwrap());
+        let mut live: Vec<(usize, u64)> = Vec::new();
+        for (i, &s) in sizes.iter().enumerate() {
+            let node = i % 2;
+            if g.allocate(node, DeviceKind::Dram, s).is_ok() {
+                live.push((node, s));
+            }
+            let usage = g.usage(node, DeviceKind::Dram);
+            prop_assert!(usage.used <= usage.capacity);
+        }
+        for (node, s) in live.drain(..) {
+            g.free(node, DeviceKind::Dram, s).unwrap();
+        }
+        prop_assert_eq!(g.usage(0, DeviceKind::Dram).used, 0);
+        prop_assert_eq!(g.usage(1, DeviceKind::Dram).used, 0);
+        // Peaks survive the frees.
+        prop_assert!(g.peak(0, DeviceKind::Dram) >= g.usage(0, DeviceKind::Dram).used);
+    }
+
+    /// Merging counters is associative with respect to the totals.
+    #[test]
+    fn counter_merge_totals(
+        xs in proptest::collection::vec((0u64..10_000, 0u64..64), 1..20)
+    ) {
+        let class = AccessClass::new(
+            DeviceKind::Pm,
+            Locality::Remote,
+            AccessOp::Write,
+            AccessPattern::Rand,
+        );
+        let mut merged = ClassCounters::default();
+        let mut total_bytes = 0;
+        let mut total_accesses = 0;
+        for (bytes, accesses) in xs {
+            let mut c = ClassCounters::default();
+            c.charge(class, bytes, bytes, accesses);
+            merged.merge(&c);
+            total_bytes += bytes;
+            total_accesses += accesses;
+        }
+        prop_assert_eq!(merged.get(class).bytes, total_bytes);
+        prop_assert_eq!(merged.total_accesses(), total_accesses);
+    }
+
+    /// SimDuration arithmetic: sums order-independent, max is max.
+    #[test]
+    fn duration_arithmetic(ns in proptest::collection::vec(0u64..1_000_000, 1..20)) {
+        let forward: SimDuration = ns.iter().map(|&x| SimDuration::from_nanos(x)).sum();
+        let backward: SimDuration = ns.iter().rev().map(|&x| SimDuration::from_nanos(x)).sum();
+        prop_assert_eq!(forward, backward);
+        let max = ns.iter().map(|&x| SimDuration::from_nanos(x))
+            .fold(SimDuration::ZERO, SimDuration::max);
+        prop_assert_eq!(max.as_nanos(), *ns.iter().max().unwrap());
+    }
+}

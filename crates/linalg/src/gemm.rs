@@ -1,0 +1,104 @@
+//! Dense matrix-matrix products.
+//!
+//! Simple cache-aware loops are sufficient here: all dense-dense products in
+//! ProNE involve at least one small (`d × d` or `n × d`, `d ≤ 256`)
+//! operand; the heavy kernel is the *sparse* SpMM in `omega-spmm`.
+
+use crate::matrix::DenseMatrix;
+use crate::{LinalgError, Result};
+
+/// `C = A · B`.
+pub fn gemm(a: &DenseMatrix, b: &DenseMatrix) -> Result<DenseMatrix> {
+    if a.cols() != b.rows() {
+        return Err(LinalgError::ShapeMismatch {
+            left: a.shape(),
+            right: b.shape(),
+        });
+    }
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut c = DenseMatrix::zeros(m, n);
+    // Column-major friendly order: for each output column, accumulate
+    // columns of A scaled by B's entries (axpy formulation).
+    for j in 0..n {
+        let bj = b.col(j);
+        let cj = c.col_mut(j);
+        for (l, &blj) in bj.iter().enumerate().take(k) {
+            if blj == 0.0 {
+                continue;
+            }
+            let al = a.col(l);
+            for i in 0..m {
+                cj[i] += al[i] * blj;
+            }
+        }
+    }
+    Ok(c)
+}
+
+/// `C = Aᵀ · B` without materialising the transpose (the Gram-style product
+/// used by randomized SVD: both operands are tall and skinny).
+pub fn gemm_tn(a: &DenseMatrix, b: &DenseMatrix) -> Result<DenseMatrix> {
+    if a.rows() != b.rows() {
+        return Err(LinalgError::ShapeMismatch {
+            left: a.shape(),
+            right: b.shape(),
+        });
+    }
+    let (k, m, n) = (a.rows(), a.cols(), b.cols());
+    let mut c = DenseMatrix::zeros(m, n);
+    for j in 0..n {
+        let bj = b.col(j);
+        for i in 0..m {
+            let ai = a.col(i);
+            let mut acc = 0f32;
+            for l in 0..k {
+                acc += ai[l] * bj[l];
+            }
+            c[(i, j)] = acc;
+        }
+    }
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_small_known_product() {
+        let a = DenseMatrix::from_row_major(2, 3, &[1., 2., 3., 4., 5., 6.]).unwrap();
+        let b = DenseMatrix::from_row_major(3, 2, &[7., 8., 9., 10., 11., 12.]).unwrap();
+        let c = gemm(&a, &b).unwrap();
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c[(0, 0)], 58.0);
+        assert_eq!(c[(0, 1)], 64.0);
+        assert_eq!(c[(1, 0)], 139.0);
+        assert_eq!(c[(1, 1)], 154.0);
+    }
+
+    #[test]
+    fn gemm_identity_is_noop() {
+        let a = DenseMatrix::from_row_major(2, 2, &[1., 2., 3., 4.]).unwrap();
+        let i = DenseMatrix::identity(2);
+        assert_eq!(gemm(&a, &i).unwrap(), a);
+        assert_eq!(gemm(&i, &a).unwrap(), a);
+    }
+
+    #[test]
+    fn gemm_tn_matches_explicit_transpose() {
+        let a = DenseMatrix::from_row_major(3, 2, &[1., 2., 3., 4., 5., 6.]).unwrap();
+        let b = DenseMatrix::from_row_major(3, 2, &[7., 8., 9., 10., 11., 12.]).unwrap();
+        let via_t = gemm(&a.transposed(), &b).unwrap();
+        let direct = gemm_tn(&a, &b).unwrap();
+        assert!(direct.max_abs_diff(&via_t) < 1e-5);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let a = DenseMatrix::zeros(2, 3);
+        let b = DenseMatrix::zeros(2, 3);
+        assert!(gemm(&a, &b).is_err());
+        let c = DenseMatrix::zeros(3, 1);
+        assert!(gemm_tn(&a, &c).is_err());
+    }
+}

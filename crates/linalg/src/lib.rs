@@ -1,0 +1,48 @@
+//! # omega-linalg — dense linear algebra substrate
+//!
+//! From-scratch dense kernels needed by the ProNE embedding model:
+//! column-major [`DenseMatrix`], GEMM, Householder QR, and one-sided Jacobi
+//! SVD. No external BLAS/LAPACK — the reproduction builds every substrate.
+
+pub mod gemm;
+pub mod matrix;
+pub mod ops;
+pub mod qr;
+pub mod random;
+pub mod svd;
+
+pub use gemm::{gemm, gemm_tn};
+pub use matrix::DenseMatrix;
+pub use qr::qr_thin;
+pub use random::gaussian_matrix;
+pub use svd::{svd_jacobi, svd_tall, Svd};
+
+/// Errors from dense linear algebra.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible.
+    ShapeMismatch {
+        left: (usize, usize),
+        right: (usize, usize),
+    },
+    /// An iterative routine failed to converge.
+    NoConvergence { iterations: usize },
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch: {left:?} vs {right:?}")
+            }
+            LinalgError::NoConvergence { iterations } => {
+                write!(f, "no convergence after {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, LinalgError>;

