@@ -109,15 +109,17 @@ impl DistDglLike {
         let fetch_bytes =
             (sampled_per_epoch as f64 * remote_fraction) as u64 * (cfg.dim as u64 * 4 + 16);
         let messages = sampled_per_epoch / 64; // batched RPCs
-        let sampling_net = cfg.cluster.network.transfer_time(fetch_bytes / p, messages / p);
+        let sampling_net = cfg
+            .cluster
+            .network
+            .transfer_time(fetch_bytes / p, messages / p);
         let sampling_cpu = SimDuration::from_secs_f64(
             sampled_per_epoch as f64 * self.sampling_ops_per_neighbor
                 / (cfg.cpu_ops_per_sec * (self.sampler_threads * cfg.cluster.machines) as f64),
         );
 
         // Forward/backward compute across the full trainer pool.
-        let compute =
-            cfg.compute_time(sampled_per_epoch as f64 * (cfg.dim * cfg.dim) as f64 * 4.0);
+        let compute = cfg.compute_time(sampled_per_epoch as f64 * (cfg.dim * cfg.dim) as f64 * 4.0);
 
         // Gradient all-reduce per mini-batch (two d×d layers).
         let batches = n.div_ceil(self.batch_size as u64 * p);
@@ -220,8 +222,7 @@ impl DistGerLike {
             pairs as f64 * SgnsModel::ops_per_pair(&self.sgns) as f64 * self.sgns.epochs as f64,
         );
         // Embedding synchronisation per epoch: hot-vector exchange.
-        let sync = cfg.cluster.allreduce_time(n * cfg.dim as u64 * 4 / 8)
-            * self.sgns.epochs as u64;
+        let sync = cfg.cluster.allreduce_time(n * cfg.dim as u64 * 4 / 8) * self.sgns.epochs as u64;
 
         RunOutcome::Completed(walk_cpu + walk_net + train_cpu + sync)
     }
@@ -233,7 +234,9 @@ mod tests {
     use omega_graph::RmatConfig;
 
     fn graph() -> Csr {
-        RmatConfig::social(1 << 11, 20_000, 5).generate_csr().unwrap()
+        RmatConfig::social(1 << 11, 20_000, 5)
+            .generate_csr()
+            .unwrap()
     }
 
     #[test]
@@ -259,7 +262,9 @@ mod tests {
     #[test]
     fn bigger_graphs_cost_more() {
         let small = RmatConfig::social(512, 4_000, 1).generate_csr().unwrap();
-        let large = RmatConfig::social(1 << 12, 40_000, 1).generate_csr().unwrap();
+        let large = RmatConfig::social(1 << 12, 40_000, 1)
+            .generate_csr()
+            .unwrap();
         let cfg = DistConfig::paper_cluster(32);
         let a = DistDglLike::new(cfg).run(&small).time().unwrap();
         let b = DistDglLike::new(cfg).run(&large).time().unwrap();
@@ -274,10 +279,6 @@ mod tests {
         let b = DistDglLike::new(cfg).epoch_breakdown(&g);
         let total = b.sampling + b.compute + b.sync;
         let share = b.sampling.ratio(total);
-        assert!(
-            share > 0.6,
-            "sampling share {share} too low ({:?})",
-            b
-        );
+        assert!(share > 0.6, "sampling share {share} too low ({:?})", b);
     }
 }

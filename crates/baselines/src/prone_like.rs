@@ -88,8 +88,7 @@ impl ProneBaseline {
     /// Like [`ProneBaseline::run`] but surfacing the error for tests.
     pub fn try_run(&self, adj: &Csr) -> Result<RunOutcome, EmbedError> {
         let sys = MemSystem::new(self.topology.clone());
-        let engine =
-            SpmmEngine::new(sys, self.spmm).map_err(EmbedError::Spmm)?;
+        let engine = SpmmEngine::new(sys, self.spmm).map_err(EmbedError::Spmm)?;
         match Prone::new(engine, self.prone).embed(adj) {
             Ok((_, report)) => Ok(RunOutcome::Completed(report.total())),
             Err(e) if e.is_oom() => Ok(RunOutcome::OutOfMemory),
@@ -119,7 +118,10 @@ mod tests {
         let t_dram = dram.time().expect("ProNE-DRAM completes");
         let t_hm = hm.time().expect("ProNE-HM completes");
         // The HM split pays PM for sparse streams: slower than pure DRAM.
-        assert!(t_hm > t_dram, "HM {t_hm} should be slower than DRAM {t_dram}");
+        assert!(
+            t_hm > t_dram,
+            "HM {t_hm} should be slower than DRAM {t_dram}"
+        );
     }
 
     #[test]

@@ -160,9 +160,7 @@ impl FusedMm {
             );
         }
         ctx.add_cpu_ops(per_thread_nnz * d as u64 * self.fused_factor);
-        let t = sys
-            .model()
-            .thread_time(ctx.counters(), self.threads as u32);
+        let t = sys.model().thread_time(ctx.counters(), self.threads as u32);
         RunOutcome::Completed(t)
     }
 }
@@ -237,10 +235,7 @@ mod tests {
         let fused = expect_time(FusedMm::new(topo(), 8).run_spmm(&csr, d));
         let omega = expect_time(omega_spmm_time(topo(), 8, &csdb, &b));
         let speedup = fused.ratio(omega);
-        assert!(
-            speedup > 1.2,
-            "OMeGa speedup over FusedMM only {speedup}"
-        );
+        assert!(speedup > 1.2, "OMeGa speedup over FusedMM only {speedup}");
     }
 
     #[test]

@@ -205,8 +205,7 @@ impl MariusLike {
 
         // CPU batch construction + GPU compute over the edges.
         let cpu_per_epoch = SimDuration::from_secs_f64(
-            adj.nnz() as f64 * self.edge_ops
-                / (sys.model().cpu_ops_per_sec * cfg.threads as f64),
+            adj.nnz() as f64 * self.edge_ops / (sys.model().cpu_ops_per_sec * cfg.threads as f64),
         );
         let gpu_per_epoch = SimDuration::from_secs_f64(
             adj.nnz() as f64 * (cfg.dim * 6) as f64
@@ -228,7 +227,9 @@ mod tests {
     }
 
     fn graph() -> Csr {
-        RmatConfig::social(1 << 11, 20_000, 7).generate_csr().unwrap()
+        RmatConfig::social(1 << 11, 20_000, 7)
+            .generate_csr()
+            .unwrap()
     }
 
     #[test]

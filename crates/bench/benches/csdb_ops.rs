@@ -5,7 +5,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use omega_graph::{Csdb, Csr, RmatConfig};
 
 fn csr() -> Csr {
-    RmatConfig::social(1 << 13, 120_000, 3).generate_csr().unwrap()
+    RmatConfig::social(1 << 13, 120_000, 3)
+        .generate_csr()
+        .unwrap()
 }
 
 fn bench_build(c: &mut Criterion) {

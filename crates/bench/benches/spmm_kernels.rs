@@ -41,7 +41,10 @@ fn bench_spmm_modes(c: &mut Criterion) {
         ("omega", SpmmConfig::omega(8)),
         ("dram", SpmmConfig::omega_dram(8)),
         ("pm", SpmmConfig::omega_pm(8)),
-        ("no_wofp_no_asl", SpmmConfig::omega(8).with_wofp(None).with_asl(None)),
+        (
+            "no_wofp_no_asl",
+            SpmmConfig::omega(8).with_wofp(None).with_asl(None),
+        ),
     ] {
         group.bench_function(name, |bencher| {
             bencher.iter(|| {

@@ -22,7 +22,9 @@ fn bench_alias(c: &mut Criterion) {
 }
 
 fn bench_walks(c: &mut Criterion) {
-    let g = RmatConfig::social(1 << 11, 30_000, 5).generate_csr().unwrap();
+    let g = RmatConfig::social(1 << 11, 30_000, 5)
+        .generate_csr()
+        .unwrap();
     let mut group = c.benchmark_group("walks");
     group.sample_size(10);
     group.bench_function("deepwalk_corpus", |b| {

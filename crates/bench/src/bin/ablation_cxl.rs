@@ -14,7 +14,12 @@ use omega_hetmem::{BandwidthModel, MemSystem, SimDuration};
 use omega_linalg::gaussian_matrix;
 use omega_spmm::{SpmmConfig, SpmmEngine};
 
-fn spmm(model: BandwidthModel, cfg: SpmmConfig, csdb: &Csdb, b: &omega_linalg::DenseMatrix) -> SimDuration {
+fn spmm(
+    model: BandwidthModel,
+    cfg: SpmmConfig,
+    csdb: &Csdb,
+    b: &omega_linalg::DenseMatrix,
+) -> SimDuration {
     let sys = MemSystem::with_model(experiment_topology(), model);
     SpmmEngine::new(sys, cfg)
         .unwrap()
@@ -33,8 +38,18 @@ fn main() {
 
         // Full system and the PM-resident (streaming-off) regime on both
         // capacity tiers, plus the DRAM ideal for reference.
-        let optane_full = spmm(BandwidthModel::paper_machine(), SpmmConfig::omega(THREADS), &csdb, &b);
-        let cxl_full = spmm(BandwidthModel::cxl_machine(), SpmmConfig::omega(THREADS), &csdb, &b);
+        let optane_full = spmm(
+            BandwidthModel::paper_machine(),
+            SpmmConfig::omega(THREADS),
+            &csdb,
+            &b,
+        );
+        let cxl_full = spmm(
+            BandwidthModel::cxl_machine(),
+            SpmmConfig::omega(THREADS),
+            &csdb,
+            &b,
+        );
         let optane_resident = spmm(
             BandwidthModel::paper_machine(),
             SpmmConfig::omega(THREADS).with_asl(None),

@@ -85,7 +85,10 @@ fn main() {
         pm_t.unwrap() / omega_t
     );
     println!("w/o WoFP       ratio {wo_wofp:.2} (no-ASL regime; paper ~1.37)");
-    println!("w/o NaDP       ratio {:.2} (paper ~1.95)", wo_nadp / omega_t);
+    println!(
+        "w/o NaDP       ratio {:.2} (paper ~1.95)",
+        wo_nadp / omega_t
+    );
     println!("w/o ASL        ratio {:.2}", wo_asl / omega_t);
 
     let prone_dram = ProneBaseline::dram(topo.clone(), THREADS, DIM).run(&g);
@@ -171,7 +174,12 @@ fn main() {
         let s = run.stats;
         println!(
             "{:>4}: mean {:.4} stddev {:.4} p95 {:.4} p99 {:.4} max {:.4}",
-            alloc.label(), s.mean_s, s.stddev_s, s.p95_s, s.p99_s, s.max_s
+            alloc.label(),
+            s.mean_s,
+            s.stddev_s,
+            s.p95_s,
+            s.p99_s,
+            s.max_s
         );
     }
     println!(

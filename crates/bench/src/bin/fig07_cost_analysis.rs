@@ -35,10 +35,19 @@ fn main() {
         "Fig. 7(a): SpMM time breakdown (aggregate thread-seconds)",
         &["operation", "share"],
         &[
-            vec!["read_index + get_sparse_nnz (seq)".into(), format!("{:.1}%", shares[0] * 100.0)],
-            vec!["get_dense_nnz (random)".into(), format!("{:.1}%", shares[1] * 100.0)],
+            vec![
+                "read_index + get_sparse_nnz (seq)".into(),
+                format!("{:.1}%", shares[0] * 100.0),
+            ],
+            vec![
+                "get_dense_nnz (random)".into(),
+                format!("{:.1}%", shares[1] * 100.0),
+            ],
             vec!["write_result".into(), format!("{:.1}%", shares[2] * 100.0)],
-            vec!["accumulation (CPU)".into(), format!("{:.1}%", shares[3] * 100.0)],
+            vec![
+                "accumulation (CPU)".into(),
+                format!("{:.1}%", shares[3] * 100.0),
+            ],
         ],
     );
     println!("(paper: get_dense_nnz dominates the breakdown)");
@@ -63,7 +72,14 @@ fn main() {
     }
     print_table(
         "Fig. 7(b)/(c): per-thread workload diagnostics (WaTA)",
-        &["thread", "nnz", "W_sca", "entropy H", "fetch M/s", "time (ms)"],
+        &[
+            "thread",
+            "nnz",
+            "W_sca",
+            "entropy H",
+            "fetch M/s",
+            "time (ms)",
+        ],
         &rows,
     );
 

@@ -13,14 +13,54 @@ use omega_hetmem::{AccessClass, AccessOp, AccessPattern, BandwidthModel, DeviceK
 fn main() {
     let model = BandwidthModel::paper_machine();
     let combos = [
-        ("SEQ-R-L", Locality::Local, AccessOp::Read, AccessPattern::Seq),
-        ("SEQ-R-R", Locality::Remote, AccessOp::Read, AccessPattern::Seq),
-        ("RAND-R-L", Locality::Local, AccessOp::Read, AccessPattern::Rand),
-        ("RAND-R-R", Locality::Remote, AccessOp::Read, AccessPattern::Rand),
-        ("SEQ-W-L", Locality::Local, AccessOp::Write, AccessPattern::Seq),
-        ("SEQ-W-R", Locality::Remote, AccessOp::Write, AccessPattern::Seq),
-        ("RAND-W-L", Locality::Local, AccessOp::Write, AccessPattern::Rand),
-        ("RAND-W-R", Locality::Remote, AccessOp::Write, AccessPattern::Rand),
+        (
+            "SEQ-R-L",
+            Locality::Local,
+            AccessOp::Read,
+            AccessPattern::Seq,
+        ),
+        (
+            "SEQ-R-R",
+            Locality::Remote,
+            AccessOp::Read,
+            AccessPattern::Seq,
+        ),
+        (
+            "RAND-R-L",
+            Locality::Local,
+            AccessOp::Read,
+            AccessPattern::Rand,
+        ),
+        (
+            "RAND-R-R",
+            Locality::Remote,
+            AccessOp::Read,
+            AccessPattern::Rand,
+        ),
+        (
+            "SEQ-W-L",
+            Locality::Local,
+            AccessOp::Write,
+            AccessPattern::Seq,
+        ),
+        (
+            "SEQ-W-R",
+            Locality::Remote,
+            AccessOp::Write,
+            AccessPattern::Seq,
+        ),
+        (
+            "RAND-W-L",
+            Locality::Local,
+            AccessOp::Write,
+            AccessPattern::Rand,
+        ),
+        (
+            "RAND-W-R",
+            Locality::Remote,
+            AccessOp::Write,
+            AccessPattern::Rand,
+        ),
     ];
     let threads = [1u32, 2, 4, 6, 8, 12, 18];
 

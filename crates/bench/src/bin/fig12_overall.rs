@@ -4,12 +4,52 @@
 //! DRAM-only systems must report OOM on the two billion-scale twins
 //! (TW-2010, FR), exactly as the paper's Fig. 12 shows.
 
-use omega::{Omega, OmegaConfig, SystemVariant};
+use omega::{Omega, OmegaConfig, RunMetrics, SystemVariant};
 use omega_baselines::prone_like::ProneBaseline;
 use omega_baselines::ssd_systems::{GinexLike, MariusLike, SsdSystemConfig};
 use omega_baselines::RunOutcome;
-use omega_bench::{experiment_topology, fmt_time, geomean, load, print_table, DIM, THREADS};
+use omega_bench::{
+    experiment_topology, fmt_time, geomean, load, print_table, write_results_jsonl, DIM, THREADS,
+};
 use omega_graph::Dataset;
+use omega_obs::export::json_line;
+use serde::Serialize;
+
+/// One machine-readable cell of Fig. 12.
+#[derive(Serialize)]
+struct Cell {
+    kind: String,
+    graph: String,
+    system: String,
+    status: String,
+    time_s: Option<f64>,
+}
+
+impl Cell {
+    fn new(graph: &str, system: &str, out: &RunOutcome) -> Cell {
+        Cell {
+            kind: "cell".to_string(),
+            graph: graph.to_string(),
+            system: system.to_string(),
+            status: if out.time().is_some() { "ok" } else { "oom" }.to_string(),
+            time_s: out.time().map(|t| t.as_secs_f64()),
+        }
+    }
+}
+
+/// The full OMeGa run's metric snapshot for one graph.
+#[derive(Serialize)]
+struct MetricsRow {
+    kind: String,
+    graph: String,
+    metrics: RunMetrics,
+}
+
+#[derive(Serialize)]
+struct GeomeanRow {
+    kind: String,
+    value: f64,
+}
 
 fn main() {
     let topo = experiment_topology();
@@ -23,32 +63,54 @@ fn main() {
         ..SsdSystemConfig::default()
     };
 
-    let variant = |d: Dataset, v: SystemVariant| -> RunOutcome {
+    let variant = |d: Dataset, v: SystemVariant| -> (RunOutcome, Option<RunMetrics>) {
         let g = load(d);
         match Omega::new(base.clone().with_variant(v)).unwrap().embed(&g) {
-            Ok(r) => RunOutcome::Completed(r.total_time()),
-            Err(e) if e.is_oom() => RunOutcome::OutOfMemory,
+            Ok(r) => {
+                let m = r.metrics();
+                (RunOutcome::Completed(r.total_time()), Some(m))
+            }
+            Err(e) if e.is_oom() => (RunOutcome::OutOfMemory, None),
             Err(e) => panic!("{e}"),
         }
     };
 
     let mut rows = Vec::new();
     let mut speedups: Vec<f64> = Vec::new();
+    let mut jsonl = String::new();
     for &d in &Dataset::ALL {
         let g = load(d);
-        let omega = variant(d, SystemVariant::Omega);
+        let (omega, metrics) = variant(d, SystemVariant::Omega);
         let omega_t = omega.time().expect("OMeGa completes everywhere");
+        // Full RunMetrics (times + per-device traffic) for the OMeGa run.
+        jsonl.push_str(&json_line(&MetricsRow {
+            kind: "run_metrics".to_string(),
+            graph: d.label().to_string(),
+            metrics: metrics.expect("completed run has metrics"),
+        }));
+        let systems = [
+            "OMeGa",
+            "OMeGa-DRAM",
+            "OMeGa-PM",
+            "ProNE-DRAM",
+            "ProNE-HM",
+            "Ginex",
+            "MariusGNN",
+        ];
         let outcomes: Vec<RunOutcome> = vec![
             omega,
-            variant(d, SystemVariant::OmegaDram),
+            variant(d, SystemVariant::OmegaDram).0,
             // OMeGa-PM is skipped past LJ in the paper (> 1 day); we compute
             // it and let the day cap annotate it.
-            variant(d, SystemVariant::OmegaPm),
+            variant(d, SystemVariant::OmegaPm).0,
             ProneBaseline::dram(topo.clone(), THREADS, DIM).run(&g),
             ProneBaseline::hm(topo.clone(), THREADS, DIM).run(&g),
             GinexLike::new(topo.clone(), ssd_cfg).run(&g),
             MariusLike::new(topo.clone(), ssd_cfg).run(&g),
         ];
+        for (sys, out) in systems.iter().zip(&outcomes) {
+            jsonl.push_str(&json_line(&Cell::new(d.label(), sys, out)));
+        }
         for out in outcomes.iter().skip(3) {
             if let Some(t) = out.time() {
                 speedups.push(t.ratio(omega_t));
@@ -70,14 +132,25 @@ fn main() {
     print_table(
         "Fig. 12: end-to-end running time",
         &[
-            "graph", "OMeGa", "OMeGa-DRAM", "OMeGa-PM", "ProNE-DRAM", "ProNE-HM", "Ginex",
+            "graph",
+            "OMeGa",
+            "OMeGa-DRAM",
+            "OMeGa-PM",
+            "ProNE-DRAM",
+            "ProNE-HM",
+            "Ginex",
             "MariusGNN",
         ],
         &rows,
     );
+    let gm = geomean(&speedups);
     println!(
-        "\ngeomean speedup of OMeGa over the completed competitor runs: {:.2}x \
-         (paper: average 32.03x, dominated by ProNE-HM / OMeGa-PM factors)",
-        geomean(&speedups)
+        "\ngeomean speedup of OMeGa over the completed competitor runs: {gm:.2}x \
+         (paper: average 32.03x, dominated by ProNE-HM / OMeGa-PM factors)"
     );
+    jsonl.push_str(&json_line(&GeomeanRow {
+        kind: "geomean_speedup".to_string(),
+        value: gm,
+    }));
+    write_results_jsonl("fig12_overall", &jsonl);
 }

@@ -111,7 +111,14 @@ fn main() {
     );
     print_table(
         "Fig. 15(b): single SpMM",
-        &["graph", "OMeGa", "w/o NaDP", "OMeGa-DRAM", "NaDP speedup", "full-cfg gap to DRAM"],
+        &[
+            "graph",
+            "OMeGa",
+            "w/o NaDP",
+            "OMeGa-DRAM",
+            "NaDP speedup",
+            "full-cfg gap to DRAM",
+        ],
         &rows_b,
     );
     println!(

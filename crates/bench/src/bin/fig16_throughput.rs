@@ -2,30 +2,53 @@
 //! (a) OMeGa vs OMeGa-w/o-NaDP on five twins at 30 threads,
 //! (b) sweep over thread counts on the soc-LiveJournal twin.
 
-use omega_bench::{experiment_topology, load, print_table, DIM, THREADS};
+use omega_bench::{experiment_topology, load, print_table, write_results_jsonl, DIM, THREADS};
 use omega_graph::{Csdb, Dataset};
 use omega_hetmem::MemSystem;
 use omega_linalg::gaussian_matrix;
+use omega_obs::export::json_line;
 use omega_spmm::{SpmmConfig, SpmmEngine};
+use serde::Serialize;
 
-fn throughput(cfg: SpmmConfig, csdb: &Csdb, b: &omega_linalg::DenseMatrix) -> f64 {
+/// One machine-readable throughput measurement (a row of panel a or b).
+#[derive(Serialize)]
+struct Row {
+    panel: String,
+    graph: String,
+    threads: u64,
+    omega_mnnz_s: f64,
+    no_nadp_mnnz_s: f64,
+    gain: f64,
+    wofp_hit_rate: f64,
+}
+
+/// Throughput plus the run's aggregate WoFP hit rate (Fig. 14 companion).
+fn throughput(cfg: SpmmConfig, csdb: &Csdb, b: &omega_linalg::DenseMatrix) -> (f64, f64) {
     let eng = SpmmEngine::new(MemSystem::new(experiment_topology()), cfg).unwrap();
-    eng.spmm(csdb, b).unwrap().throughput_mnnz_s()
+    let run = eng.spmm(csdb, b).unwrap();
+    (run.throughput_mnnz_s(), run.hit_rate())
 }
 
 fn main() {
+    let mut jsonl = String::new();
+
     // (a) per graph.
     let mut rows = Vec::new();
     for &d in &Dataset::SMALL_FIVE {
         let g = load(d);
         let csdb = Csdb::from_csr(&g).unwrap();
         let b = gaussian_matrix(g.rows() as usize, DIM, 16);
-        let with = throughput(SpmmConfig::omega(THREADS), &csdb, &b);
-        let without = throughput(
-            SpmmConfig::omega(THREADS).with_nadp(false),
-            &csdb,
-            &b,
-        );
+        let (with, hit_rate) = throughput(SpmmConfig::omega(THREADS), &csdb, &b);
+        let (without, _) = throughput(SpmmConfig::omega(THREADS).with_nadp(false), &csdb, &b);
+        jsonl.push_str(&json_line(&Row {
+            panel: "a".to_string(),
+            graph: d.label().to_string(),
+            threads: THREADS as u64,
+            omega_mnnz_s: with,
+            no_nadp_mnnz_s: without,
+            gain: with / without,
+            wofp_hit_rate: hit_rate,
+        }));
         rows.push(vec![
             d.label().to_string(),
             format!("{with:.1}"),
@@ -45,12 +68,17 @@ fn main() {
     let b = gaussian_matrix(g.rows() as usize, DIM, 17);
     let mut rows = Vec::new();
     for threads in [1usize, 2, 4, 8, 12, 18, 24, 30, 36] {
-        let with = throughput(SpmmConfig::omega(threads), &csdb, &b);
-        let without = throughput(
-            SpmmConfig::omega(threads).with_nadp(false),
-            &csdb,
-            &b,
-        );
+        let (with, hit_rate) = throughput(SpmmConfig::omega(threads), &csdb, &b);
+        let (without, _) = throughput(SpmmConfig::omega(threads).with_nadp(false), &csdb, &b);
+        jsonl.push_str(&json_line(&Row {
+            panel: "b".to_string(),
+            graph: Dataset::Lj.label().to_string(),
+            threads: threads as u64,
+            omega_mnnz_s: with,
+            no_nadp_mnnz_s: without,
+            gain: with / without,
+            wofp_hit_rate: hit_rate,
+        }));
         rows.push(vec![
             threads.to_string(),
             format!("{with:.1}"),
@@ -62,4 +90,5 @@ fn main() {
         &["threads", "OMeGa", "w/o NaDP"],
         &rows,
     );
+    write_results_jsonl("fig16_throughput", &jsonl);
 }

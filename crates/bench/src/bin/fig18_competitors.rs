@@ -25,7 +25,11 @@ fn main() {
     let mut ger_ratios = Vec::new();
     for &d in &Dataset::ALL {
         let g = load(d);
-        let omega = Omega::new(base.clone()).unwrap().embed(&g).unwrap().total_time();
+        let omega = Omega::new(base.clone())
+            .unwrap()
+            .embed(&g)
+            .unwrap()
+            .total_time();
         let dgl = DistDglLike::new(dist_cfg).run(&g);
         let ger = DistGerLike::new(dist_cfg).run(&g);
         if let Some(t) = dgl.time() {

@@ -27,18 +27,25 @@ fn main() {
             fmt_time(Some(t_csdb)),
             format!("{:.2}x", t_csr.ratio(t_csdb)),
             format!("{}", csdb.blocks()),
-            format!(
-                "{:.1}x",
-                g.index_bytes() as f64 / csdb.index_bytes() as f64
-            ),
+            format!("{:.1}x", g.index_bytes() as f64 / csdb.index_bytes() as f64),
         ]);
     }
     print_table(
         "Fig. 19(a): graph reading, CSR vs CSDB",
-        &["graph", "CSR", "CSDB", "speedup", "|Degree|", "index shrink"],
+        &[
+            "graph",
+            "CSR",
+            "CSDB",
+            "speedup",
+            "|Degree|",
+            "index shrink",
+        ],
         &rows,
     );
-    println!("geomean CSDB reading speedup {:.2}x (paper 1.35x)", geomean(&speedups));
+    println!(
+        "geomean CSDB reading speedup {:.2}x (paper 1.35x)",
+        geomean(&speedups)
+    );
 
     // Parameter sweeps on the PK twin: one SpMM in the WoFP regime
     // (EaTA base, streaming off), normalised to the default setting.
@@ -47,7 +54,9 @@ fn main() {
     let csdb = Csdb::from_csr(&g).unwrap();
     let b = gaussian_matrix(g.rows() as usize, DIM, 19);
     let time = |wofp: WofpConfig| -> f64 {
-        let cfg = SpmmConfig::omega(THREADS).with_asl(None).with_wofp(Some(wofp));
+        let cfg = SpmmConfig::omega(THREADS)
+            .with_asl(None)
+            .with_wofp(Some(wofp));
         SpmmEngine::new(MemSystem::new(topo.clone()), cfg)
             .unwrap()
             .spmm(&csdb, &b)

@@ -16,6 +16,7 @@
 use omega::config::SCALED_DRAM_PER_NODE;
 use omega_graph::{datasets::default_scale, Csr, Dataset};
 use omega_hetmem::{SimDuration, Topology};
+use std::path::PathBuf;
 
 /// Simulated threads used throughout the evaluation (§IV uses 30).
 pub const THREADS: usize = 30;
@@ -77,15 +78,47 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     };
     let head: Vec<String> = header.iter().map(|s| s.to_string()).collect();
     println!("{}", fmt_row(&head));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
 }
 
+/// Directory for machine-readable experiment output. Defaults to
+/// `results/` in the working directory; override with `OMEGA_RESULTS_DIR`.
+pub fn results_dir() -> PathBuf {
+    results_dir_from(std::env::var("OMEGA_RESULTS_DIR").ok())
+}
+
+fn results_dir_from(env: Option<String>) -> PathBuf {
+    env.map_or_else(|| PathBuf::from("results"), PathBuf::from)
+}
+
+/// Write a figure's machine-readable rows to `results/<name>.jsonl`
+/// (creating the directory if needed) and report where they went.
+pub fn write_results_jsonl(name: &str, jsonl: &str) -> PathBuf {
+    let path = write_jsonl_into(&results_dir(), name, jsonl);
+    eprintln!("wrote machine-readable rows to {}", path.display());
+    path
+}
+
+fn write_jsonl_into(dir: &std::path::Path, name: &str, jsonl: &str) -> PathBuf {
+    std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("creating {}: {e}", dir.display()));
+    let path = dir.join(format!("{name}.jsonl"));
+    std::fs::write(&path, jsonl).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    path
+}
+
 /// Geometric mean of speedups, ignoring non-finite entries.
 pub fn geomean(ratios: &[f64]) -> f64 {
-    let finite: Vec<f64> = ratios.iter().copied().filter(|r| r.is_finite() && *r > 0.0).collect();
+    let finite: Vec<f64> = ratios
+        .iter()
+        .copied()
+        .filter(|r| r.is_finite() && *r > 0.0)
+        .collect();
     if finite.is_empty() {
         return f64::NAN;
     }
@@ -114,6 +147,23 @@ mod tests {
         assert_eq!(fmt_time(Some(SimDuration::from_millis(5))), "5.00 ms");
         assert_eq!(fmt_time(Some(SimDuration::from_secs_f64(2.5))), "2.50 s");
         assert_eq!(fmt_time(Some(SimDuration::from_secs_f64(250.0))), "250 s");
+    }
+
+    #[test]
+    fn results_dir_honors_override() {
+        assert_eq!(results_dir_from(None), PathBuf::from("results"));
+        assert_eq!(
+            results_dir_from(Some("/tmp/out".to_string())),
+            PathBuf::from("/tmp/out")
+        );
+    }
+
+    #[test]
+    fn jsonl_rows_land_in_named_file() {
+        let dir = std::env::temp_dir().join("omega_bench_results_test");
+        let path = write_jsonl_into(&dir, "fig_test", "{\"a\":1}\n");
+        assert_eq!(path, dir.join("fig_test.jsonl"));
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"a\":1}\n");
     }
 
     #[test]

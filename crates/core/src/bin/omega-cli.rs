@@ -4,12 +4,18 @@
 //! omega-cli embed   --input graph.txt --output emb.txt [--dim 64]
 //!                   [--threads 30] [--mode hetero|dram|pm]
 //!                   [--no-wofp] [--no-nadp] [--no-asl]
+//!                   [--trace-out trace.json] [--metrics-out metrics.jsonl]
 //! omega-cli generate --nodes 10000 --edges 200000 --seed 7 --output g.txt
 //! omega-cli stats   --input graph.txt
 //! ```
 //!
+//! `--trace-out` writes a Chrome-trace-event JSON of the run's simulated
+//! timeline (load it in Perfetto / `chrome://tracing`); `--metrics-out`
+//! writes one JSON metric per line.
+//!
 //! Arguments are parsed by hand (the workspace stays dependency-light).
 
+use omega::obs::Recorder;
 use omega::{Omega, OmegaConfig, SystemVariant};
 use omega_graph::stats::GraphStats;
 use omega_graph::{Csr, EdgeList, GraphBuilder, RmatConfig};
@@ -33,6 +39,7 @@ const USAGE: &str = "usage:
   omega-cli embed    --input <edge-list> --output <file> [--dim N]
                      [--threads N] [--mode hetero|dram|pm]
                      [--no-wofp] [--no-nadp] [--no-asl]
+                     [--trace-out <file>] [--metrics-out <file>]
   omega-cli generate --nodes N --edges M [--seed S] --output <file>
   omega-cli stats    --input <edge-list>";
 
@@ -109,7 +116,11 @@ fn embed(opts: &Opts) -> Result<(), String> {
     let output = opts.require("output")?.to_string();
     let dim: usize = opts.get_or("dim", 64)?;
     let threads: usize = opts.get_or("threads", 30)?;
-    let mode = opts.values.get("mode").map(String::as_str).unwrap_or("hetero");
+    let mode = opts
+        .values
+        .get("mode")
+        .map(String::as_str)
+        .unwrap_or("hetero");
 
     let variant = if opts.flag("no-wofp") {
         SystemVariant::OmegaWithoutWofp
@@ -126,6 +137,9 @@ fn embed(opts: &Opts) -> Result<(), String> {
         }
     };
 
+    let trace_out = opts.values.get("trace-out").cloned();
+    let metrics_out = opts.values.get("metrics-out").cloned();
+
     let graph = load_graph(input)?;
     eprintln!(
         "loaded {input}: |V|={} |E|={}",
@@ -136,7 +150,14 @@ fn embed(opts: &Opts) -> Result<(), String> {
         .with_dim(dim)
         .with_threads(threads)
         .with_variant(variant);
-    let omega = Omega::new(cfg).map_err(|e| e.to_string())?;
+    let rec = if trace_out.is_some() || metrics_out.is_some() {
+        Recorder::enabled()
+    } else {
+        Recorder::disabled()
+    };
+    let omega = Omega::new(cfg)
+        .map_err(|e| e.to_string())?
+        .with_recorder(rec.clone());
     let run = omega.embed(&graph).map_err(|e| {
         if e.is_oom() {
             format!("simulated machine out of memory in {mode} mode: {e}")
@@ -148,6 +169,15 @@ fn embed(opts: &Opts) -> Result<(), String> {
     std::fs::write(&output, run.embedding.to_text())
         .map_err(|e| format!("writing {output}: {e}"))?;
     eprintln!("wrote {output}");
+    if let Some(path) = trace_out {
+        std::fs::write(&path, rec.chrome_trace_json())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote trace {path} (load in Perfetto / chrome://tracing)");
+    }
+    if let Some(path) = metrics_out {
+        std::fs::write(&path, rec.metrics_jsonl()).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote metrics {path}");
+    }
     Ok(())
 }
 
@@ -171,7 +201,10 @@ fn stats(opts: &Opts) -> Result<(), String> {
     println!("max degree        {}", s.max_degree);
     println!("avg degree        {:.2}", s.avg_degree);
     println!("distinct degrees  {}", s.distinct_degrees);
-    println!("degree entropy    {:.3} (normalised {:.3})", s.entropy, s.normalized_entropy);
+    println!(
+        "degree entropy    {:.3} (normalised {:.3})",
+        s.entropy, s.normalized_entropy
+    );
     println!(
         "largest component {}",
         omega_graph::algo::largest_component_size(&graph)
@@ -222,17 +255,78 @@ mod tests {
         let g = dir.join("g.txt");
         let e = dir.join("e.txt");
         run(&s(&[
-            "generate", "--nodes", "300", "--edges", "2000", "--seed", "5",
-            "--output", g.to_str().unwrap(),
+            "generate",
+            "--nodes",
+            "300",
+            "--edges",
+            "2000",
+            "--seed",
+            "5",
+            "--output",
+            g.to_str().unwrap(),
         ]))
         .unwrap();
         run(&s(&["stats", "--input", g.to_str().unwrap()])).unwrap();
         run(&s(&[
-            "embed", "--input", g.to_str().unwrap(), "--output", e.to_str().unwrap(),
-            "--dim", "8", "--threads", "4",
+            "embed",
+            "--input",
+            g.to_str().unwrap(),
+            "--output",
+            e.to_str().unwrap(),
+            "--dim",
+            "8",
+            "--threads",
+            "4",
         ]))
         .unwrap();
         let text = std::fs::read_to_string(&e).unwrap();
         assert!(text.lines().next().unwrap().ends_with(" 8"));
+    }
+
+    #[test]
+    fn embed_writes_trace_and_metrics() {
+        let dir = std::env::temp_dir().join("omega_cli_obs_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = dir.join("g.txt");
+        let e = dir.join("e.txt");
+        let t = dir.join("t.json");
+        let m = dir.join("m.jsonl");
+        run(&s(&[
+            "generate",
+            "--nodes",
+            "300",
+            "--edges",
+            "2000",
+            "--seed",
+            "9",
+            "--output",
+            g.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&s(&[
+            "embed",
+            "--input",
+            g.to_str().unwrap(),
+            "--output",
+            e.to_str().unwrap(),
+            "--dim",
+            "8",
+            "--threads",
+            "4",
+            "--trace-out",
+            t.to_str().unwrap(),
+            "--metrics-out",
+            m.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        let doc = omega::obs::json::parse(&std::fs::read_to_string(&t).unwrap()).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_seq().unwrap();
+        assert!(!events.is_empty());
+        let rows =
+            omega::obs::export::parse_metrics_jsonl(&std::fs::read_to_string(&m).unwrap()).unwrap();
+        assert!(rows
+            .iter()
+            .any(|(k, n, v)| { k == "counter" && n == "mem.pm_bytes" && *v > 0.0 }));
     }
 }

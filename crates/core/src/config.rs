@@ -3,9 +3,9 @@
 
 use omega_embed::prone::ProneConfig;
 use omega_hetmem::Topology;
-use omega_spmm::{AllocScheme, AslConfig, SpmmConfig, WofpConfig};
 #[cfg(test)]
 use omega_spmm::MemMode;
+use omega_spmm::{AllocScheme, AslConfig, SpmmConfig, WofpConfig};
 
 /// The paper's named system variants (§IV-A baselines plus ablations).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -175,7 +175,10 @@ mod tests {
             MemMode::DramOnly
         );
         assert_eq!(SystemVariant::OmegaPm.spmm_config(t).mode, MemMode::PmOnly);
-        assert!(SystemVariant::OmegaWithoutWofp.spmm_config(t).wofp.is_none());
+        assert!(SystemVariant::OmegaWithoutWofp
+            .spmm_config(t)
+            .wofp
+            .is_none());
         assert!(!SystemVariant::OmegaWithoutNadp.spmm_config(t).nadp);
         assert!(SystemVariant::OmegaWithoutAsl.spmm_config(t).asl.is_none());
         assert_eq!(SystemVariant::Omega.label(), "OMeGa");

@@ -36,14 +36,15 @@ pub mod report;
 pub mod system;
 
 pub use config::{OmegaConfig, SystemVariant};
-pub use report::OmegaRun;
+pub use report::{OmegaRun, RunMetrics};
 pub use system::Omega;
 
 // Re-export the building blocks a downstream user needs.
-pub use omega_embed::{Embedding, EmbedError};
+pub use omega_embed::{EmbedError, Embedding};
 pub use omega_graph as graph;
 pub use omega_hetmem as hetmem;
 pub use omega_linalg as linalg;
+pub use omega_obs as obs;
 pub use omega_spmm as spmm;
 
 /// Crate-wide result alias.

@@ -5,7 +5,8 @@ use crate::report::OmegaRun;
 use crate::Result;
 use omega_embed::prone::Prone;
 use omega_graph::Csr;
-use omega_hetmem::MemSystem;
+use omega_hetmem::{AccessSummary, MemSystem};
+use omega_obs::Recorder;
 use omega_spmm::{SpmmConfig, SpmmEngine};
 
 /// The OMeGa graph-embedding system bound to a simulated machine.
@@ -13,13 +14,18 @@ use omega_spmm::{SpmmConfig, SpmmEngine};
 pub struct Omega {
     cfg: OmegaConfig,
     spmm: SpmmConfig,
+    rec: Recorder,
 }
 
 impl Omega {
     /// Build the system for a configuration.
     pub fn new(cfg: OmegaConfig) -> Result<Omega> {
         let spmm = cfg.spmm_config();
-        Ok(Omega { cfg, spmm })
+        Ok(Omega {
+            cfg,
+            spmm,
+            rec: Recorder::disabled(),
+        })
     }
 
     /// Build with explicit SpMM-layer overrides (ablation studies).
@@ -28,7 +34,20 @@ impl Omega {
         Ok(Omega {
             cfg: over.base,
             spmm,
+            rec: Recorder::disabled(),
         })
+    }
+
+    /// Attach an observability recorder: every engine built by this system
+    /// records spans and metrics into it, and [`Self::embed`] publishes the
+    /// run's per-device byte counters (`mem.*`).
+    pub fn with_recorder(mut self, rec: Recorder) -> Self {
+        self.rec = rec;
+        self
+    }
+
+    pub fn recorder(&self) -> &Recorder {
+        &self.rec
     }
 
     pub fn config(&self) -> &OmegaConfig {
@@ -43,7 +62,9 @@ impl Omega {
     /// run gets clean capacity accounting, like a fresh process).
     pub fn engine(&self) -> Result<SpmmEngine> {
         let sys = MemSystem::new(self.cfg.topology.clone());
-        Ok(SpmmEngine::new(sys, self.spmm).map_err(omega_embed::EmbedError::Spmm)?)
+        Ok(SpmmEngine::new(sys, self.spmm)
+            .map_err(omega_embed::EmbedError::Spmm)?
+            .with_recorder(self.rec.clone()))
     }
 
     /// End-to-end embedding of a symmetric adjacency matrix.
@@ -51,10 +72,25 @@ impl Omega {
         let engine = self.engine()?;
         let prone = Prone::new(engine, self.cfg.prone);
         let (embedding, report) = prone.embed(graph)?;
+        // The run's VTune-style traffic view: merged counters of every SpMM
+        // phase the engine executed.
+        let traffic = AccessSummary::from_counters(&prone.engine().lifetime_counters());
+        // Publish the per-device/locality byte counters so exported metrics
+        // match this run's AccessSummary exactly (hetmem cannot depend on
+        // obs, so the push happens here).
+        self.rec.counter_set("mem.total_bytes", traffic.total_bytes);
+        self.rec.counter_set("mem.pm_bytes", traffic.pm_bytes);
+        self.rec.counter_set("mem.dram_bytes", traffic.dram_bytes);
+        self.rec.counter_set("mem.ssd_bytes", traffic.ssd_bytes);
+        self.rec
+            .counter_set("mem.remote_bytes", traffic.remote_bytes);
+        self.rec
+            .counter_set("mem.random_bytes", traffic.random_bytes);
         Ok(OmegaRun {
             embedding,
             report,
             variant: self.cfg.variant.label(),
+            traffic,
         })
     }
 }
@@ -71,11 +107,7 @@ mod tests {
     }
 
     fn quick(cfg: OmegaConfig) -> OmegaConfig {
-        OmegaConfig {
-            threads: 8,
-            ..cfg
-        }
-        .with_dim(16)
+        OmegaConfig { threads: 8, ..cfg }.with_dim(16)
     }
 
     #[test]
@@ -109,9 +141,8 @@ mod tests {
         // The paper's capacity story: DRAM-only systems fail on TW-2010/FR.
         let g = Dataset::Tw2010.load_scaled(4000).unwrap();
         // At 1:4000 the twin shrinks, so shrink the machine equally.
-        let topo = omega_hetmem::Topology::paper_machine_scaled(
-            crate::config::SCALED_DRAM_PER_NODE / 4,
-        );
+        let topo =
+            omega_hetmem::Topology::paper_machine_scaled(crate::config::SCALED_DRAM_PER_NODE / 4);
         let cfg = quick(OmegaConfig::default().with_topology(topo.clone()))
             .with_variant(SystemVariant::OmegaDram)
             .with_dim(64);
@@ -120,7 +151,11 @@ mod tests {
         // Full OMeGa on the same machine completes (PM capacity).
         let cfg = quick(OmegaConfig::default().with_topology(topo)).with_dim(64);
         let run = Omega::new(cfg).unwrap().embed(&g);
-        assert!(run.is_ok(), "hetero should fit: {:?}", run.err().map(|e| e.to_string()));
+        assert!(
+            run.is_ok(),
+            "hetero should fit: {:?}",
+            run.err().map(|e| e.to_string())
+        );
     }
 
     #[test]

@@ -88,8 +88,7 @@ pub fn node_classification_micro_f1(
             for &v in train {
                 let x = emb.vector(v as u32);
                 let y = if labels[v] as usize == c { 1.0 } else { 0.0 };
-                let z: f32 =
-                    w[d] + x.iter().zip(&w[..d]).map(|(a, b)| a * b).sum::<f32>();
+                let z: f32 = w[d] + x.iter().zip(&w[..d]).map(|(a, b)| a * b).sum::<f32>();
                 let p = 1.0 / (1.0 + (-z).exp());
                 let err = p - y;
                 for (g, &xi) in grad.iter_mut().zip(x) {

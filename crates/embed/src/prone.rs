@@ -8,6 +8,7 @@ use crate::{EmbedError, Result};
 use omega_graph::read_cost::{csdb_read_time, csr_read_time, GraphFormat};
 use omega_graph::Csr;
 use omega_hetmem::SimDuration;
+use omega_obs::Track;
 use omega_spmm::SpmmEngine;
 use serde::{Deserialize, Serialize};
 
@@ -117,8 +118,19 @@ impl Prone {
             )));
         }
 
+        // Phase spans close with the exact simulated phase durations, so the
+        // `prone.embed` root covers precisely `ProneReport::total()`. Inner
+        // `spmm.run` spans (emitted by the engine) nest inside the phases:
+        // each phase's total is its SpMM time plus dense work, so the phase
+        // end never lags its children's cursor.
+        let rec = self.engine.recorder().clone();
+        let root = rec.begin("prone.embed", Track::MAIN);
+        rec.arg(&root, "nodes", n);
+        rec.arg(&root, "dim", self.cfg.dim);
+
         // Stage 0: graph reading (edge list -> in-memory format on the
         // sparse operand's device).
+        let read_span = rec.begin("prone.read", Track::MAIN);
         let m = to_csdb(&log_proximity(adj, self.cfg.lambda))?;
         let model = self.engine.system().model();
         let device = self.engine.config().mode.operand_device();
@@ -126,8 +138,10 @@ impl Prone {
             GraphFormat::Csdb => csdb_read_time(&m, model, device),
             GraphFormat::Csr => csr_read_time(adj, model, device),
         };
+        rec.end(read_span, Some(read_time));
 
         // Stage 1: sparse factorisation.
+        let fact_span = rec.begin("prone.factorize", Track::MAIN);
         let mt = m.transpose()?;
         let tsvd_cfg = TsvdConfig {
             rank: self.cfg.dim,
@@ -137,9 +151,13 @@ impl Prone {
         };
         let fact = randomized_tsvd(&self.engine, &m, &mt, &tsvd_cfg)?;
         let initial = unpermute_matrix(&m, &fact.embedding);
+        rec.end(fact_span, Some(fact.total_time()));
 
         // Stage 2: spectral propagation.
+        let prop_span = rec.begin("prone.propagate", Track::MAIN);
         let prop = propagate(&self.engine, adj, &initial, &self.cfg.chebyshev)?;
+        rec.end(prop_span, Some(prop.total_time()));
+        rec.end(root, None);
 
         let report = ProneReport {
             read_time,
@@ -148,6 +166,8 @@ impl Prone {
             spmm_time: fact.spmm_time + prop.spmm_time,
             spmm_count: fact.spmm_count + prop.spmm_count,
         };
+        rec.counter_add("prone.spmm_count", report.spmm_count as u64);
+        rec.gauge_set("prone.spmm_share", report.spmm_share());
         Ok((Embedding::from_matrix(&prop.embedding), report))
     }
 }
@@ -198,7 +218,9 @@ mod tests {
     fn spmm_dominates_generation_time() {
         // The premise of the whole paper: ~70% of embedding generation is
         // SpMM. Our pipeline should be SpMM-dominated too.
-        let adj = RmatConfig::social(1 << 10, 12_000, 3).generate_csr().unwrap();
+        let adj = RmatConfig::social(1 << 10, 12_000, 3)
+            .generate_csr()
+            .unwrap();
         let prone = Prone::new(engine(SpmmConfig::omega(4)), small_cfg(32));
         let (_, report) = prone.embed(&adj).unwrap();
         assert!(
@@ -226,14 +248,41 @@ mod tests {
     fn embeddings_identical_across_memory_modes() {
         // Memory configuration must never change the numerics.
         let adj = RmatConfig::social(256, 2_000, 4).generate_csr().unwrap();
-        let run = |cfg: SpmmConfig| {
-            Prone::new(engine(cfg), small_cfg(8)).embed(&adj).unwrap().0
-        };
+        let run = |cfg: SpmmConfig| Prone::new(engine(cfg), small_cfg(8)).embed(&adj).unwrap().0;
         let a = run(SpmmConfig::omega(4));
         let b = run(SpmmConfig::omega_dram(4));
         let c = run(SpmmConfig::omega_pm(2));
         assert_eq!(a, b);
         assert_eq!(a, c);
+    }
+
+    #[test]
+    fn trace_phases_cover_report_exactly() {
+        let adj = RmatConfig::social(256, 2_000, 4).generate_csr().unwrap();
+        let rec = omega_obs::Recorder::enabled();
+        let eng = engine(SpmmConfig::omega(4)).with_recorder(rec.clone());
+        let (_, report) = Prone::new(eng, small_cfg(8)).embed(&adj).unwrap();
+
+        let spans = rec.spans();
+        let get = |n: &str| spans.iter().find(|s| s.name == n).unwrap();
+        assert_eq!(get("prone.embed").sim_dur_ns, report.total().as_nanos());
+        assert_eq!(get("prone.read").sim_dur_ns, report.read_time.as_nanos());
+        assert_eq!(
+            get("prone.factorize").sim_dur_ns,
+            report.factorization_time.as_nanos()
+        );
+        assert_eq!(
+            get("prone.propagate").sim_dur_ns,
+            report.propagation_time.as_nanos()
+        );
+        // The engine's spmm.run spans nest inside the phases.
+        let runs: Vec<_> = spans.iter().filter(|s| s.name == "spmm.run").collect();
+        assert_eq!(runs.len(), report.spmm_count);
+        assert!(runs.iter().all(|s| s.depth >= 2));
+        assert_eq!(
+            rec.metrics_snapshot().counter("prone.spmm_count"),
+            Some(report.spmm_count as u64)
+        );
     }
 
     #[test]
@@ -245,7 +294,9 @@ mod tests {
 
     #[test]
     fn oom_propagates_from_engine() {
-        let adj = RmatConfig::social(1 << 10, 8_000, 2).generate_csr().unwrap();
+        let adj = RmatConfig::social(1 << 10, 8_000, 2)
+            .generate_csr()
+            .unwrap();
         let sys = MemSystem::new(Topology::new(2, 4, 16 << 10, 1 << 30, 1 << 30).unwrap());
         let eng = SpmmEngine::new(sys, SpmmConfig::omega_dram(4)).unwrap();
         let err = Prone::new(eng, small_cfg(32)).embed(&adj).unwrap_err();

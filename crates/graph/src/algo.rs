@@ -177,7 +177,7 @@ mod tests {
         let g = two_triangles();
         assert_eq!(local_clustering(&g, 0), 1.0);
         assert_eq!(local_clustering(&g, 6), 0.0); // isolated
-        // Star centre has no closed wedges.
+                                                  // Star centre has no closed wedges.
         let mut b = GraphBuilder::new(4);
         b.add_edge(0, 1, 1.0).unwrap();
         b.add_edge(0, 2, 1.0).unwrap();
@@ -190,7 +190,9 @@ mod tests {
 
     #[test]
     fn rmat_twin_is_connected_enough_and_disassortative() {
-        let g = RmatConfig::social(1 << 11, 30_000, 3).generate_csr().unwrap();
+        let g = RmatConfig::social(1 << 11, 30_000, 3)
+            .generate_csr()
+            .unwrap();
         let giant = largest_component_size(&g);
         assert!(
             giant as f64 > g.rows() as f64 * 0.5,

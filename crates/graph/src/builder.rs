@@ -79,8 +79,7 @@ impl GraphBuilder {
         }
 
         // Symmetrise: store (u,v) and (v,u); drop self-loops unless kept.
-        let mut directed: Vec<(u32, u32, f32)> =
-            Vec::with_capacity(self.edges.len() * 2);
+        let mut directed: Vec<(u32, u32, f32)> = Vec::with_capacity(self.edges.len() * 2);
         for (u, v, w) in self.edges {
             if u == v {
                 if self.keep_self_loops {

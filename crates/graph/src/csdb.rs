@@ -279,7 +279,11 @@ impl Csdb {
     /// Transpose (via CSR round-trip; for the symmetric adjacency matrices
     /// of undirected graphs this is a no-op up to value order).
     pub fn transpose(&self) -> Result<Csdb> {
-        Csdb::from_permuted_csr(self.to_csr().transpose(), self.perm.clone(), self.inv_perm.clone())
+        Csdb::from_permuted_csr(
+            self.to_csr().transpose(),
+            self.perm.clone(),
+            self.inv_perm.clone(),
+        )
     }
 
     /// Element-wise sum with another CSDB over the same permutation.
@@ -381,11 +385,7 @@ impl Csdb {
         let fresh = Csdb::from_csr(&csr)?;
         // Compose: fresh.perm maps fresh ids -> csr ids; `perm` maps csr ids
         // -> original ids.
-        let composed_perm: Vec<u32> = fresh
-            .perm
-            .iter()
-            .map(|&mid| perm[mid as usize])
-            .collect();
+        let composed_perm: Vec<u32> = fresh.perm.iter().map(|&mid| perm[mid as usize]).collect();
         let mut composed_inv = vec![0u32; composed_perm.len()];
         for (new_id, &old_id) in composed_perm.iter().enumerate() {
             composed_inv[old_id as usize] = new_id as u32;

@@ -62,10 +62,16 @@ impl Csr {
         let mut row_ptr = vec![0u64; rows as usize + 1];
         for &(r, c, _) in &triples {
             if r >= rows {
-                return Err(GraphError::NodeOutOfRange { node: r, nodes: rows });
+                return Err(GraphError::NodeOutOfRange {
+                    node: r,
+                    nodes: rows,
+                });
             }
             if c >= cols {
-                return Err(GraphError::NodeOutOfRange { node: c, nodes: cols });
+                return Err(GraphError::NodeOutOfRange {
+                    node: c,
+                    nodes: cols,
+                });
             }
             row_ptr[r as usize + 1] += 1;
         }

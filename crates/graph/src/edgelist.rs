@@ -149,10 +149,7 @@ mod tests {
     fn parses_comments_blanks_and_weights() {
         let text = "# SNAP header\n\n0 1\n1\t2\t0.5\n% matrix-market comment\n2 0\n";
         let list = EdgeList::parse(text).unwrap();
-        assert_eq!(
-            list.edges,
-            vec![(0, 1, 1.0), (1, 2, 0.5), (2, 0, 1.0)]
-        );
+        assert_eq!(list.edges, vec![(0, 1, 1.0), (1, 2, 0.5), (2, 0, 1.0)]);
         assert_eq!(list.max_node_plus_one(), 3);
     }
 
@@ -166,7 +163,9 @@ mod tests {
 
     #[test]
     fn roundtrips_text() {
-        let list: EdgeList = vec![(0u32, 1u32, 1.0f32), (1, 2, 2.5)].into_iter().collect();
+        let list: EdgeList = vec![(0u32, 1u32, 1.0f32), (1, 2, 2.5)]
+            .into_iter()
+            .collect();
         let text = list.to_text();
         assert_eq!(text, "0\t1\n1\t2\t2.5\n");
         assert_eq!(EdgeList::parse(&text).unwrap(), list);

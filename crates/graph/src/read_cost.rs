@@ -123,7 +123,9 @@ mod tests {
     #[test]
     fn csdb_reads_faster_than_csr() {
         let model = BandwidthModel::paper_machine();
-        let csr = RmatConfig::social(1 << 12, 60_000, 4).generate_csr().unwrap();
+        let csr = RmatConfig::social(1 << 12, 60_000, 4)
+            .generate_csr()
+            .unwrap();
         let csdb = Csdb::from_csr(&csr).unwrap();
         let t_csr = csr_read_time(&csr, &model, DeviceKind::Pm);
         let t_csdb = csdb_read_time(&csdb, &model, DeviceKind::Pm);
@@ -138,7 +140,14 @@ mod tests {
     #[test]
     fn read_time_scales_with_size() {
         let model = BandwidthModel::paper_machine();
-        let small = read_time(GraphFormat::Csr, 1_000, 10_000, 100_000, &model, DeviceKind::Pm);
+        let small = read_time(
+            GraphFormat::Csr,
+            1_000,
+            10_000,
+            100_000,
+            &model,
+            DeviceKind::Pm,
+        );
         let large = read_time(
             GraphFormat::Csr,
             10_000,
@@ -153,7 +162,14 @@ mod tests {
     #[test]
     fn dram_write_out_beats_pm() {
         let model = BandwidthModel::paper_machine();
-        let pm = read_time(GraphFormat::Csdb, 1_000, 50_000, 10_000_000, &model, DeviceKind::Pm);
+        let pm = read_time(
+            GraphFormat::Csdb,
+            1_000,
+            50_000,
+            10_000_000,
+            &model,
+            DeviceKind::Pm,
+        );
         let dram = read_time(
             GraphFormat::Csdb,
             1_000,

@@ -151,7 +151,9 @@ mod tests {
 
     #[test]
     fn social_parameterisation_is_skewed() {
-        let g = RmatConfig::social(1 << 12, 40_000, 1).generate_csr().unwrap();
+        let g = RmatConfig::social(1 << 12, 40_000, 1)
+            .generate_csr()
+            .unwrap();
         let degs = g.degrees();
         let max = *degs.iter().max().unwrap();
         let avg = degs.iter().sum::<u64>() as f64 / degs.len() as f64;
@@ -164,7 +166,9 @@ mod tests {
 
     #[test]
     fn uniform_parameterisation_is_flat() {
-        let g = RmatConfig::uniform(1 << 10, 20_000, 1).generate_csr().unwrap();
+        let g = RmatConfig::uniform(1 << 10, 20_000, 1)
+            .generate_csr()
+            .unwrap();
         let degs = g.degrees();
         let max = *degs.iter().max().unwrap();
         let avg = degs.iter().sum::<u64>() as f64 / degs.len() as f64;

@@ -38,7 +38,9 @@ impl SbmConfig {
     /// Ground-truth community of each node (blocks of equal size).
     pub fn labels(&self) -> Vec<u32> {
         let block = self.nodes.div_ceil(self.communities).max(1);
-        (0..self.nodes).map(|v| (v / block).min(self.communities - 1)).collect()
+        (0..self.nodes)
+            .map(|v| (v / block).min(self.communities - 1))
+            .collect()
     }
 
     /// Sample the graph.

@@ -172,7 +172,9 @@ mod tests {
 
     #[test]
     fn power_law_fit_on_rmat() {
-        let g = RmatConfig::social(1 << 12, 60_000, 3).generate_csr().unwrap();
+        let g = RmatConfig::social(1 << 12, 60_000, 3)
+            .generate_csr()
+            .unwrap();
         let alpha = power_law_alpha(&g, 4).expect("enough high-degree nodes");
         // Social graphs live around alpha in [1.5, 3.5].
         assert!((1.2..4.5).contains(&alpha), "alpha={alpha}");

@@ -116,16 +116,31 @@ impl AccessClass {
     /// Dense index into class tables, `0..NUM_CLASSES`.
     #[inline]
     pub const fn index(self) -> usize {
-        self.device.index() * 8 + self.locality.index() * 4 + self.op.index() * 2 + self.pattern.index()
+        self.device.index() * 8
+            + self.locality.index() * 4
+            + self.op.index() * 2
+            + self.pattern.index()
     }
 
     /// Inverse of [`AccessClass::index`].
     pub fn from_index(i: usize) -> Self {
         debug_assert!(i < NUM_CLASSES);
         let device = DeviceKind::ALL[i / 8];
-        let locality = if (i / 4) % 2 == 0 { Locality::Local } else { Locality::Remote };
-        let op = if (i / 2) % 2 == 0 { AccessOp::Read } else { AccessOp::Write };
-        let pattern = if i % 2 == 0 { AccessPattern::Seq } else { AccessPattern::Rand };
+        let locality = if (i / 4).is_multiple_of(2) {
+            Locality::Local
+        } else {
+            Locality::Remote
+        };
+        let op = if (i / 2).is_multiple_of(2) {
+            AccessOp::Read
+        } else {
+            AccessOp::Write
+        };
+        let pattern = if i.is_multiple_of(2) {
+            AccessPattern::Seq
+        } else {
+            AccessPattern::Rand
+        };
         AccessClass::new(device, locality, op, pattern)
     }
 
@@ -506,9 +521,15 @@ mod tests {
         );
         // DRAM and PM sequential reads stay flat.
         let seq = AccessClass::new(Pm, Local, Read, Seq);
-        assert_eq!(m.aggregate_bandwidth(seq, 8), m.aggregate_bandwidth(seq, 30));
+        assert_eq!(
+            m.aggregate_bandwidth(seq, 8),
+            m.aggregate_bandwidth(seq, 30)
+        );
         let dram = AccessClass::new(Dram, Local, Read, Rand);
-        assert_eq!(m.aggregate_bandwidth(dram, 12), m.aggregate_bandwidth(dram, 30));
+        assert_eq!(
+            m.aggregate_bandwidth(dram, 12),
+            m.aggregate_bandwidth(dram, 30)
+        );
     }
 
     #[test]

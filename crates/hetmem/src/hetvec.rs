@@ -212,8 +212,14 @@ impl<T: Copy> HetVec<T> {
     /// Overwrite a contiguous range from `src`, charging one sequential
     /// streamed write.
     pub fn write_block(&mut self, start: usize, src: &[T], ctx: &mut ThreadMem) {
-        let bytes = (src.len() * std::mem::size_of::<T>()) as u64;
-        ctx.charge_block(self.placement, AccessOp::Write, AccessPattern::Seq, bytes, 1);
+        let bytes = std::mem::size_of_val(src) as u64;
+        ctx.charge_block(
+            self.placement,
+            AccessOp::Write,
+            AccessPattern::Seq,
+            bytes,
+            1,
+        );
         self.data[start..start + src.len()].copy_from_slice(src);
     }
 

@@ -115,10 +115,7 @@ mod tests {
         // 2*(4-1)/4 = 1.5x data over the wire.
         let expect = c.network.transfer_time(3 * (1u64 << 20) / 2, 6);
         assert_eq!(t, expect);
-        let single = Cluster {
-            machines: 1,
-            ..c
-        };
+        let single = Cluster { machines: 1, ..c };
         assert_eq!(single.allreduce_time(1 << 20), SimDuration::ZERO);
     }
 

@@ -54,9 +54,7 @@ impl PlacementPolicy {
                 Placement::node(preferred, device)
             }
             PlacementPolicy::Interleave => Placement::interleaved(device),
-            PlacementPolicy::RoundRobinNodes => {
-                Placement::node(alloc_index % topo.nodes(), device)
-            }
+            PlacementPolicy::RoundRobinNodes => Placement::node(alloc_index % topo.nodes(), device),
         }
     }
 }

@@ -31,7 +31,10 @@ impl Default for SsdModel {
 
 impl SsdModel {
     pub fn new(page_size: u64, node: NodeId) -> Self {
-        assert!(page_size.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            page_size.is_power_of_two(),
+            "page size must be a power of two"
+        );
         SsdModel { page_size, node }
     }
 

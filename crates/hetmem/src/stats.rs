@@ -154,6 +154,85 @@ mod tests {
     }
 
     #[test]
+    fn summary_serde_round_trips() {
+        let mut ctx = ThreadMem::new(0, 2);
+        ctx.charge_block(
+            Placement::node(0, DeviceKind::Pm),
+            AccessOp::Read,
+            AccessPattern::Seq,
+            100,
+            1,
+        );
+        ctx.charge_block(
+            Placement::node(1, DeviceKind::Dram),
+            AccessOp::Write,
+            AccessPattern::Rand,
+            75,
+            2,
+        );
+        ctx.add_cpu_ops(7);
+        let s = AccessSummary::from_counters(ctx.counters());
+        let back = AccessSummary::from_value(&s.to_value()).unwrap();
+        assert_eq!(back.total_bytes, s.total_bytes);
+        assert_eq!(back.total_accesses, s.total_accesses);
+        assert_eq!(back.remote_bytes, s.remote_bytes);
+        assert_eq!(back.random_bytes, s.random_bytes);
+        assert_eq!(back.pm_bytes, s.pm_bytes);
+        assert_eq!(back.dram_bytes, s.dram_bytes);
+        assert_eq!(back.ssd_bytes, s.ssd_bytes);
+        assert_eq!(back.read_bytes, s.read_bytes);
+        assert_eq!(back.write_bytes, s.write_bytes);
+        assert_eq!(back.cpu_ops, s.cpu_ops);
+        assert_eq!(back.rows.len(), s.rows.len());
+        for (a, b) in back.rows.iter().zip(&s.rows) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.bytes, b.bytes);
+            assert_eq!(a.media_bytes, b.media_bytes);
+            assert_eq!(a.accesses, b.accesses);
+        }
+    }
+
+    #[test]
+    fn class_row_labels_are_stable() {
+        // Exported labels are a wire format (metrics consumers and the
+        // trace exporters key on them) — lock down the DEVICE-LOC-OP-PAT
+        // scheme so a rename cannot slip through silently.
+        let mut ctx = ThreadMem::new(0, 2);
+        for (place, op, pat) in [
+            (
+                Placement::node(0, DeviceKind::Pm),
+                AccessOp::Read,
+                AccessPattern::Seq,
+            ),
+            (
+                Placement::node(1, DeviceKind::Pm),
+                AccessOp::Read,
+                AccessPattern::Seq,
+            ),
+            (
+                Placement::node(0, DeviceKind::Dram),
+                AccessOp::Write,
+                AccessPattern::Rand,
+            ),
+            (
+                Placement::node(0, DeviceKind::Ssd),
+                AccessOp::Read,
+                AccessPattern::Seq,
+            ),
+        ] {
+            ctx.charge_block(place, op, pat, 64, 1);
+        }
+        let s = AccessSummary::from_counters(ctx.counters());
+        let labels: Vec<&str> = s.rows.iter().map(|r| r.label.as_str()).collect();
+        for expect in ["PM-L-R-SEQ", "PM-R-R-SEQ", "DRAM-L-W-RAND", "SSD-L-R-SEQ"] {
+            assert!(
+                labels.contains(&expect),
+                "missing label {expect} in {labels:?}"
+            );
+        }
+    }
+
+    #[test]
     fn display_renders() {
         let mut ctx = ThreadMem::new(0, 2);
         ctx.charge_block(

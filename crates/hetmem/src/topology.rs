@@ -186,7 +186,10 @@ mod tests {
     #[test]
     fn scaled_machine_keeps_ratios() {
         let t = Topology::paper_machine_scaled(1 << 20);
-        assert_eq!(t.capacity(0, DeviceKind::Pm) / t.capacity(0, DeviceKind::Dram), 8);
+        assert_eq!(
+            t.capacity(0, DeviceKind::Pm) / t.capacity(0, DeviceKind::Dram),
+            8
+        );
         assert_eq!(t.nodes(), 2);
     }
 
@@ -216,7 +219,7 @@ mod tests {
         assert_eq!(t.node_of_thread(18), 1);
         assert_eq!(t.node_of_thread(35), 1);
         assert_eq!(t.node_of_thread(36), 0); // oversubscription wraps
-        // Cyclic binding alternates sockets.
+                                             // Cyclic binding alternates sockets.
         assert_eq!(t.node_of_thread_cyclic(0), 0);
         assert_eq!(t.node_of_thread_cyclic(1), 1);
         assert_eq!(t.node_of_thread_cyclic(2), 0);
@@ -234,6 +237,9 @@ mod tests {
         let t = Topology::paper_machine();
         let price = t.memory_price_usd();
         // DRAM: 192 GiB * 7 = 1344; PM: 1536 * 3.3 = 5068.8; SSD: 3840 * 0.11 = 422.4
-        assert!((price - (1344.0 + 5068.8 + 422.4)).abs() < 1e-6, "price={price}");
+        assert!(
+            (price - (1344.0 + 5068.8 + 422.4)).abs() < 1e-6,
+            "price={price}"
+        );
     }
 }

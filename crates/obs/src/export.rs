@@ -1,0 +1,269 @@
+//! Exporters: Chrome trace events (Perfetto), JSONL metrics, text tables.
+//!
+//! The Chrome trace uses **simulated time** for `ts`/`dur` (microseconds,
+//! as the format requires) so Perfetto renders the simulated machine's
+//! timeline: one process per track group (main program, simulated sockets),
+//! one thread per lane. Wall-clock measurements ride along in each event's
+//! `args` (`wall_start_us`, `wall_dur_us`).
+
+use crate::metrics::MetricsSnapshot;
+use crate::{Recorder, SpanRecord};
+use serde::{Serialize, Value};
+
+/// Render all completed spans as a Chrome-trace-event JSON document
+/// (`{"traceEvents": [...]}`), loadable in Perfetto / `chrome://tracing`.
+pub fn chrome_trace_json(rec: &Recorder) -> String {
+    let mut events: Vec<Value> = Vec::new();
+
+    for (track, name) in rec.track_names() {
+        events.push(Value::Map(vec![
+            ("ph".to_string(), Value::Str("M".to_string())),
+            ("name".to_string(), Value::Str("thread_name".to_string())),
+            ("pid".to_string(), Value::U64(track.pid as u64)),
+            ("tid".to_string(), Value::U64(track.tid as u64)),
+            (
+                "args".to_string(),
+                Value::Map(vec![("name".to_string(), Value::Str(name))]),
+            ),
+        ]));
+    }
+
+    for span in rec.spans() {
+        events.push(span_event(&span));
+    }
+
+    let doc = Value::Map(vec![
+        ("traceEvents".to_string(), Value::Seq(events)),
+        ("displayTimeUnit".to_string(), Value::Str("ns".to_string())),
+    ]);
+    crate::json::to_string(&doc)
+}
+
+fn span_event(span: &SpanRecord) -> Value {
+    let mut args: Vec<(String, Value)> = vec![
+        ("sim_start_ns".to_string(), Value::U64(span.sim_start_ns)),
+        ("sim_dur_ns".to_string(), Value::U64(span.sim_dur_ns)),
+        ("wall_start_us".to_string(), Value::U64(span.wall_start_us)),
+        ("wall_dur_us".to_string(), Value::U64(span.wall_dur_us)),
+        ("depth".to_string(), Value::U64(span.depth as u64)),
+    ];
+    for (k, v) in &span.args {
+        args.push((k.clone(), Value::Str(v.clone())));
+    }
+    Value::Map(vec![
+        ("name".to_string(), Value::Str(span.name.clone())),
+        ("cat".to_string(), Value::Str("omega".to_string())),
+        ("ph".to_string(), Value::Str("X".to_string())),
+        // Chrome trace timestamps are microseconds; keep ns precision as a
+        // fraction.
+        (
+            "ts".to_string(),
+            Value::F64(span.sim_start_ns as f64 / 1_000.0),
+        ),
+        (
+            "dur".to_string(),
+            Value::F64(span.sim_dur_ns as f64 / 1_000.0),
+        ),
+        ("pid".to_string(), Value::U64(span.track.pid as u64)),
+        ("tid".to_string(), Value::U64(span.track.tid as u64)),
+        ("args".to_string(), Value::Map(args)),
+    ])
+}
+
+/// One JSON object per line: every counter, gauge, and histogram in the
+/// snapshot. Stable field order; counters first, then gauges, histograms.
+pub fn metrics_jsonl(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snap.counters {
+        let line = Value::Map(vec![
+            ("kind".to_string(), Value::Str("counter".to_string())),
+            ("name".to_string(), Value::Str(name.clone())),
+            ("value".to_string(), Value::U64(*value)),
+        ]);
+        out.push_str(&crate::json::to_string(&line));
+        out.push('\n');
+    }
+    for (name, value) in &snap.gauges {
+        let line = Value::Map(vec![
+            ("kind".to_string(), Value::Str("gauge".to_string())),
+            ("name".to_string(), Value::Str(name.clone())),
+            ("value".to_string(), Value::F64(*value)),
+        ]);
+        out.push_str(&crate::json::to_string(&line));
+        out.push('\n');
+    }
+    for (name, hist) in &snap.histograms {
+        let line = Value::Map(vec![
+            ("kind".to_string(), Value::Str("histogram".to_string())),
+            ("name".to_string(), Value::Str(name.clone())),
+            ("count".to_string(), Value::U64(hist.count)),
+            ("sum".to_string(), Value::F64(hist.sum)),
+            ("min".to_string(), Value::F64(hist.min)),
+            ("max".to_string(), Value::F64(hist.max)),
+            ("mean".to_string(), Value::F64(hist.mean())),
+        ]);
+        out.push_str(&crate::json::to_string(&line));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse one JSONL metrics document back into `(kind, name, value)` rows
+/// (histograms report their `mean`). For tests and quick tooling.
+pub fn parse_metrics_jsonl(
+    text: &str,
+) -> Result<Vec<(String, String, f64)>, crate::json::ParseError> {
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = crate::json::parse(line)?;
+        let kind = v
+            .get("kind")
+            .and_then(Value::as_str)
+            .unwrap_or("?")
+            .to_string();
+        let name = v
+            .get("name")
+            .and_then(Value::as_str)
+            .unwrap_or("?")
+            .to_string();
+        let value = match kind.as_str() {
+            "histogram" => v.get("mean").and_then(Value::as_f64).unwrap_or(0.0),
+            _ => v.get("value").and_then(Value::as_f64).unwrap_or(0.0),
+        };
+        rows.push((kind, name, value));
+    }
+    Ok(rows)
+}
+
+/// Human-readable report: a span table (dual clocks side by side) and a
+/// metrics table.
+pub fn text_report(rec: &Recorder) -> String {
+    let mut out = String::new();
+    let spans = rec.spans();
+    if !spans.is_empty() {
+        out.push_str(&format!(
+            "{:<34} {:>6} {:>16} {:>16} {:>12}\n",
+            "span", "track", "sim_start", "sim_dur", "wall_dur"
+        ));
+        let mut ordered: Vec<&SpanRecord> = spans.iter().collect();
+        ordered.sort_by_key(|s| (s.track, s.sim_start_ns, std::cmp::Reverse(s.sim_dur_ns)));
+        for s in ordered {
+            let indent = "  ".repeat(s.depth as usize);
+            out.push_str(&format!(
+                "{:<34} {:>6} {:>14}ns {:>14}ns {:>10}us\n",
+                format!("{indent}{}", s.name),
+                format!("{}.{}", s.track.pid, s.track.tid),
+                s.sim_start_ns,
+                s.sim_dur_ns,
+                s.wall_dur_us,
+            ));
+        }
+    }
+    let snap = rec.metrics_snapshot();
+    if !(snap.counters.is_empty() && snap.gauges.is_empty() && snap.histograms.is_empty()) {
+        out.push_str(&format!("\n{:<40} {:>20}\n", "metric", "value"));
+        for (name, v) in &snap.counters {
+            out.push_str(&format!("{name:<40} {v:>20}\n"));
+        }
+        for (name, v) in &snap.gauges {
+            out.push_str(&format!("{name:<40} {v:>20.6}\n"));
+        }
+        for (name, h) in &snap.histograms {
+            out.push_str(&format!(
+                "{name:<40} {:>20}\n",
+                format!("n={} mean={:.3} max={:.3}", h.count, h.mean(), h.max)
+            ));
+        }
+    }
+    out
+}
+
+/// Serialize any `Serialize` value as one JSON line (convenience for bench
+/// binaries appending machine-readable rows to results files).
+pub fn json_line<T: Serialize>(value: &T) -> String {
+    let mut s = crate::json::to_string(&value.to_value());
+    s.push('\n');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Track;
+    use omega_hetmem::SimDuration;
+
+    fn sample_recorder() -> Recorder {
+        let rec = Recorder::enabled();
+        rec.set_track_name(Track::MAIN, "main");
+        let root = rec.begin("root", Track::MAIN);
+        let leaf = rec.begin("leaf", Track::MAIN);
+        rec.arg(&leaf, "batch", 3);
+        rec.end(leaf, Some(SimDuration::from_nanos(1500)));
+        rec.end(root, None);
+        rec.counter_add("mem.pm_bytes", 64);
+        rec.gauge_set("wofp.hit_rate", 0.5);
+        rec.observe("batch.ns", 1500.0);
+        rec
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_events() {
+        let rec = sample_recorder();
+        let doc = crate::json::parse(&rec.chrome_trace_json()).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_seq().unwrap();
+        // 1 metadata + 2 spans.
+        assert_eq!(events.len(), 3);
+        let leaf = events
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some("leaf"))
+            .unwrap();
+        assert_eq!(leaf.get("ph").and_then(Value::as_str), Some("X"));
+        assert_eq!(leaf.get("dur").and_then(Value::as_f64), Some(1.5));
+        assert_eq!(
+            leaf.get("args")
+                .unwrap()
+                .get("batch")
+                .and_then(Value::as_str),
+            Some("3")
+        );
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let rec = sample_recorder();
+        let rows = parse_metrics_jsonl(&rec.metrics_jsonl()).unwrap();
+        assert!(rows.contains(&("counter".to_string(), "mem.pm_bytes".to_string(), 64.0)));
+        assert!(rows.contains(&("gauge".to_string(), "wofp.hit_rate".to_string(), 0.5)));
+        assert!(rows
+            .iter()
+            .any(|(k, n, v)| k == "histogram" && n == "batch.ns" && *v == 1500.0));
+    }
+
+    #[test]
+    fn text_report_mentions_spans_and_metrics() {
+        let rec = sample_recorder();
+        let text = rec.text_report();
+        assert!(text.contains("root"));
+        assert!(
+            text.contains("  leaf"),
+            "leaf should be indented under root"
+        );
+        assert!(text.contains("mem.pm_bytes"));
+        assert!(text.contains("wofp.hit_rate"));
+    }
+
+    #[test]
+    fn disabled_recorder_exports_empty_documents() {
+        let rec = Recorder::disabled();
+        let doc = crate::json::parse(&rec.chrome_trace_json()).unwrap();
+        assert_eq!(
+            doc.get("traceEvents").unwrap().as_seq().map(<[Value]>::len),
+            Some(0)
+        );
+        assert!(rec.metrics_jsonl().is_empty());
+        assert!(rec.text_report().is_empty());
+    }
+}

@@ -1,0 +1,164 @@
+//! Thread-safe metrics registry: named counters, gauges, and histograms.
+//!
+//! The registry lives behind the recorder's single mutex (metrics are
+//! updated at phase granularity, not per memory access, so contention is
+//! negligible). Snapshots are plain serde-serializable structs; the JSONL
+//! exporter in [`crate::export`] renders one metric per line.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Aggregating histogram: count/sum/min/max plus powers-of-two buckets,
+/// enough for latency- and size-shaped distributions without storing samples.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+    /// `buckets[i]` counts samples with `2^(i-1) < v <= 2^i` (bucket 0:
+    /// `v <= 1`). Values are clamped into the last bucket.
+    pub buckets: Vec<u64>,
+}
+
+const NUM_BUCKETS: usize = 64;
+
+impl Histogram {
+    pub fn observe(&mut self, value: f64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+            self.buckets = vec![0; NUM_BUCKETS];
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+        let idx = if value <= 1.0 {
+            0
+        } else {
+            (value.log2().ceil() as usize).min(NUM_BUCKETS - 1)
+        };
+        self.buckets[idx] += 1;
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Registry state (owned by the recorder).
+#[derive(Debug, Default)]
+pub struct Registry {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, f64>,
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl Registry {
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    pub fn counter_set(&mut self, name: &str, value: u64) {
+        self.counters.insert(name.to_string(), value);
+    }
+
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    pub fn observe(&mut self, name: &str, value: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(value);
+    }
+
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            gauges: self.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time copy of every metric, ordered by name.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, f64)>,
+    pub histograms: Vec<(String, Histogram)>,
+}
+
+impl MetricsSnapshot {
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let mut r = Registry::default();
+        r.counter_add("mem.pm_bytes", 10);
+        r.counter_add("mem.pm_bytes", 5);
+        r.counter_set("spmm.runs", 3);
+        r.gauge_set("wofp.hit_rate", 0.75);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("mem.pm_bytes"), Some(15));
+        assert_eq!(snap.counter("spmm.runs"), Some(3));
+        assert_eq!(snap.gauge("wofp.hit_rate"), Some(0.75));
+        assert_eq!(snap.counter("missing"), None);
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let mut h = Histogram::default();
+        for v in [1.0, 2.0, 3.0, 10.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 4);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 10.0);
+        assert!((h.mean() - 4.0).abs() < 1e-12);
+        assert_eq!(h.buckets.iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn snapshot_serde_round_trip() {
+        let mut r = Registry::default();
+        r.counter_add("a", 1);
+        r.observe("h", 2.5);
+        let snap = r.snapshot();
+        let back = MetricsSnapshot::from_value(&snap.to_value()).unwrap();
+        assert_eq!(back, snap);
+    }
+}

@@ -269,7 +269,9 @@ mod tests {
     use omega_graph::{Csdb, RmatConfig};
 
     fn skewed() -> Csdb {
-        let csr = RmatConfig::social(1 << 11, 20_000, 5).generate_csr().unwrap();
+        let csr = RmatConfig::social(1 << 11, 20_000, 5)
+            .generate_csr()
+            .unwrap();
         Csdb::from_csr(&csr).unwrap()
     }
 
@@ -337,9 +339,7 @@ mod tests {
         let wata = AllocScheme::WaTA.allocate(&g, threads);
         let eata = AllocScheme::eata_default().allocate(&g, threads);
         let tail = threads - threads / 4..threads;
-        let tail_nnz = |ws: &[Workload]| -> u64 {
-            ws[tail.clone()].iter().map(|w| w.nnzs).sum()
-        };
+        let tail_nnz = |ws: &[Workload]| -> u64 { ws[tail.clone()].iter().map(|w| w.nnzs).sum() };
         assert!(
             tail_nnz(&eata) < tail_nnz(&wata),
             "EaTA tail share {} should shrink below WaTA's {}",
@@ -348,7 +348,11 @@ mod tests {
         );
         // And the entropy of EaTA workloads is pulled toward its mean.
         let stddev = |ws: &[Workload]| {
-            let hs: Vec<f64> = ws.iter().filter(|w| w.nnzs > 0).map(|w| w.entropy).collect();
+            let hs: Vec<f64> = ws
+                .iter()
+                .filter(|w| w.nnzs > 0)
+                .map(|w| w.entropy)
+                .collect();
             let m = hs.iter().sum::<f64>() / hs.len() as f64;
             (hs.iter().map(|h| (h - m).powi(2)).sum::<f64>() / hs.len() as f64).sqrt()
         };

@@ -2,9 +2,7 @@
 //! VTune profiling of §III-D and the execution-time breakdown of Fig. 7(a).
 
 use crate::exec::SpmmRun;
-use omega_hetmem::{
-    AccessClass, AccessOp, AccessPattern, AccessSummary, BandwidthModel,
-};
+use omega_hetmem::{AccessClass, AccessOp, AccessPattern, AccessSummary, BandwidthModel};
 use serde::{Deserialize, Serialize};
 
 /// Aggregate thread-seconds attributed to each of Algorithm 1's operation
@@ -36,12 +34,8 @@ impl OpBreakdown {
                 .sum()
         };
         OpBreakdown {
-            sparse_read_s: time_of(&|c| {
-                c.op == AccessOp::Read && c.pattern == AccessPattern::Seq
-            }),
-            dense_fetch_s: time_of(&|c| {
-                c.op == AccessOp::Read && c.pattern == AccessPattern::Rand
-            }),
+            sparse_read_s: time_of(&|c| c.op == AccessOp::Read && c.pattern == AccessPattern::Seq),
+            dense_fetch_s: time_of(&|c| c.op == AccessOp::Read && c.pattern == AccessPattern::Rand),
             write_s: time_of(&|c| c.op == AccessOp::Write),
             cpu_s: run.counters.cpu_ops() as f64 / model.cpu_ops_per_sec,
         }
@@ -78,13 +72,18 @@ mod tests {
     use omega_linalg::gaussian_matrix;
 
     fn run(cfg: SpmmConfig) -> SpmmRun {
-        let csr = RmatConfig::social(1 << 10, 10_000, 4).generate_csr().unwrap();
+        let csr = RmatConfig::social(1 << 10, 10_000, 4)
+            .generate_csr()
+            .unwrap();
         let csdb = Csdb::from_csr(&csr).unwrap();
         let b = gaussian_matrix(csr.rows() as usize, 16, 1);
-        SpmmEngine::new(MemSystem::new(Topology::paper_machine_scaled(24 << 20)), cfg)
-            .unwrap()
-            .spmm(&csdb, &b)
-            .unwrap()
+        SpmmEngine::new(
+            MemSystem::new(Topology::paper_machine_scaled(24 << 20)),
+            cfg,
+        )
+        .unwrap()
+        .spmm(&csdb, &b)
+        .unwrap()
     }
 
     #[test]

@@ -36,7 +36,13 @@ impl Default for AslConfig {
 /// Returns `None` when even maximal partitioning (one column at a time)
 /// cannot fit — the fixed `2·d·|V|·s` term (result + result intermediate)
 /// exceeds the budget.
-pub fn partitions_required(d: usize, v: u64, elem_size: u64, m_total: u64, m_s: u64) -> Option<u64> {
+pub fn partitions_required(
+    d: usize,
+    v: u64,
+    elem_size: u64,
+    m_total: u64,
+    m_s: u64,
+) -> Option<u64> {
     let dv = d as u64 * v * elem_size;
     let fixed = m_s + 2 * dv;
     if m_total <= fixed {
@@ -120,11 +126,74 @@ pub fn streaming_makespan(
     let mut total = load[0];
     let mut pending_flush = SimDuration::ZERO;
     for k in 0..n {
-        let next_load = if k + 1 < n { load[k + 1] } else { SimDuration::ZERO };
+        let next_load = if k + 1 < n {
+            load[k + 1]
+        } else {
+            SimDuration::ZERO
+        };
         total += compute[k].max(pending_flush + next_load);
         pending_flush = flush[k];
     }
     total + pending_flush
+}
+
+/// Explicit interval schedule behind [`streaming_makespan`], for tracing.
+///
+/// All instants are offsets from the phase start. The background channel is
+/// serialized: in slot `k` it first flushes batch `k−1`, then pre-loads
+/// batch `k+1`, while the compute lane runs batch `k`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StreamingSchedule {
+    /// Per batch: `(start, duration)` of its compute interval.
+    pub compute: Vec<(SimDuration, SimDuration)>,
+    /// Per batch: `(start, duration)` of its pre-load interval.
+    pub load: Vec<(SimDuration, SimDuration)>,
+    /// Per batch: `(start, duration)` of its result flush interval.
+    pub flush: Vec<(SimDuration, SimDuration)>,
+    /// Schedule length; equals [`streaming_makespan`] on the same inputs.
+    pub makespan: SimDuration,
+}
+
+/// Replay the [`streaming_makespan`] recurrence, keeping every interval.
+pub fn streaming_schedule(
+    compute: &[SimDuration],
+    load: &[SimDuration],
+    flush: &[SimDuration],
+) -> StreamingSchedule {
+    assert_eq!(compute.len(), load.len());
+    assert_eq!(compute.len(), flush.len());
+    let n = compute.len();
+    let mut sched = StreamingSchedule::default();
+    if n == 0 {
+        return sched;
+    }
+    sched.load.push((SimDuration::ZERO, load[0]));
+    // Slot k starts at `t`: compute[k] on the compute lane; flush[k-1] then
+    // load[k+1] on the background lane.
+    let mut t = load[0];
+    for k in 0..n {
+        sched.compute.push((t, compute[k]));
+        let mut bg = t;
+        if k > 0 {
+            sched.flush.push((t, flush[k - 1]));
+            bg += flush[k - 1];
+        }
+        let next_load = if k + 1 < n {
+            sched.load.push((bg, load[k + 1]));
+            load[k + 1]
+        } else {
+            SimDuration::ZERO
+        };
+        let pending_flush = if k > 0 {
+            flush[k - 1]
+        } else {
+            SimDuration::ZERO
+        };
+        t += compute[k].max(pending_flush + next_load);
+    }
+    sched.flush.push((t, flush[n - 1]));
+    sched.makespan = t + flush[n - 1];
+    sched
 }
 
 #[cfg(test)]
@@ -195,6 +264,42 @@ mod tests {
         let m = streaming_makespan(&[c(1), c(1)], &[c(10), c(10)], &[c(10), c(10)]);
         assert_eq!(m.as_nanos(), 40);
         assert_eq!(streaming_makespan(&[], &[], &[]), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn schedule_end_equals_makespan() {
+        let c = |ns| SimDuration::from_nanos(ns);
+        let cases: [(Vec<SimDuration>, Vec<SimDuration>, Vec<SimDuration>); 4] = [
+            (vec![c(10), c(10)], vec![c(3), c(3)], vec![c(2), c(2)]),
+            (vec![c(1), c(1)], vec![c(10), c(10)], vec![c(10), c(10)]),
+            (vec![c(7)], vec![c(0)], vec![c(0)]),
+            (
+                vec![c(5), c(50), c(5), c(5)],
+                vec![c(9), c(1), c(40), c(2)],
+                vec![c(3), c(3), c(3), c(30)],
+            ),
+        ];
+        for (compute, load, flush) in &cases {
+            let sched = streaming_schedule(compute, load, flush);
+            assert_eq!(sched.makespan, streaming_makespan(compute, load, flush));
+            // Intervals don't overlap within a lane and computes are ordered.
+            for w in sched.compute.windows(2) {
+                assert!(w[0].0 + w[0].1 <= w[1].0);
+            }
+            // Compute k cannot start before its load finished.
+            for (k, (start, _)) in sched.compute.iter().enumerate() {
+                let (ls, ld) = sched.load[k];
+                assert!(ls + ld <= *start, "batch {k} computes before loaded");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_schedule_is_zero() {
+        assert_eq!(
+            streaming_schedule(&[], &[], &[]),
+            StreamingSchedule::default()
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! a phase's makespan is the per-batch pipeline over the per-thread maxima.
 
 use crate::alloc::AllocScheme;
-use crate::asl::{partitions_required, streaming_makespan, AslConfig, AslPlan};
+use crate::asl::{partitions_required, streaming_makespan, streaming_schedule, AslConfig, AslPlan};
 use crate::kernel::{run_workload, KernelInputs, KernelStats};
 use crate::nadp::NadpPlan;
 use crate::placed::PlacedMatrix;
@@ -22,10 +22,12 @@ use omega_hetmem::{
     SimDuration, ThreadMem,
 };
 use omega_linalg::DenseMatrix;
+use omega_obs::{Recorder, Track};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Which devices hold the operands (the paper's configurations).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -193,7 +195,22 @@ pub struct WorkloadReport {
     pub time: SimDuration,
     pub dense_fetches: u64,
     pub prefetch_hits: u64,
+    pub prefetch_misses: u64,
+    /// Staged entries this workload never referenced (see
+    /// [`KernelStats::wasted_prefetches`]).
+    pub wasted_prefetches: u64,
     pub prefetcher: Option<PrefetcherKind>,
+}
+
+impl WorkloadReport {
+    /// Fraction of dense fetches served from the staging area (Fig. 14).
+    pub fn hit_rate(&self) -> f64 {
+        if self.dense_fetches == 0 {
+            0.0
+        } else {
+            self.prefetch_hits as f64 / self.dense_fetches as f64
+        }
+    }
 }
 
 /// The outcome of one SpMM.
@@ -213,6 +230,8 @@ pub struct SpmmRun {
     pub counters: ClassCounters,
     pub dense_fetches: u64,
     pub prefetch_hits: u64,
+    pub prefetch_misses: u64,
+    pub wasted_prefetches: u64,
 }
 
 impl SpmmRun {
@@ -224,6 +243,15 @@ impl SpmmRun {
             0.0
         } else {
             self.dense_fetches as f64 / 1e6 / s
+        }
+    }
+
+    /// Overall WoFP staging hit rate across all workloads (Fig. 14).
+    pub fn hit_rate(&self) -> f64 {
+        if self.dense_fetches == 0 {
+            0.0
+        } else {
+            self.prefetch_hits as f64 / self.dense_fetches as f64
         }
     }
 }
@@ -260,6 +288,10 @@ struct Group {
 pub struct SpmmEngine {
     sys: MemSystem,
     cfg: SpmmConfig,
+    rec: Recorder,
+    /// Merged traffic of every [`Self::spmm`] call on this engine (shared
+    /// across clones) — the run-level `AccessSummary` source.
+    lifetime: Arc<Mutex<ClassCounters>>,
 }
 
 impl SpmmEngine {
@@ -267,7 +299,30 @@ impl SpmmEngine {
         if cfg.threads == 0 {
             return Err(SpmmError::InvalidConfig("zero threads".into()));
         }
-        Ok(SpmmEngine { sys, cfg })
+        Ok(SpmmEngine {
+            sys,
+            cfg,
+            rec: Recorder::disabled(),
+            lifetime: Arc::new(Mutex::new(ClassCounters::default())),
+        })
+    }
+
+    /// Attach an observability recorder; every subsequent [`Self::spmm`] run
+    /// emits spans (`spmm.*`, `wofp.prefetch`, `asl.*`) and metric counters
+    /// into it. The default recorder is disabled (no-op).
+    pub fn with_recorder(mut self, rec: Recorder) -> Self {
+        self.rec = rec;
+        self
+    }
+
+    pub fn recorder(&self) -> &Recorder {
+        &self.rec
+    }
+
+    /// Merged traffic counters of every `spmm` call so far on this engine
+    /// and its clones.
+    pub fn lifetime_counters(&self) -> ClassCounters {
+        self.lifetime.lock().clone()
     }
 
     pub fn system(&self) -> &MemSystem {
@@ -296,7 +351,16 @@ impl SpmmEngine {
         let d = b.cols();
         let n = a.rows() as usize;
 
+        let rec = &self.rec;
+        let run_span = rec.begin("spmm.run", Track::MAIN);
+        rec.arg(&run_span, "rows", a.rows());
+        rec.arg(&run_span, "cols", d);
+        rec.arg(&run_span, "nnz", a.nnz());
+
         // --- Placement plan ------------------------------------------------
+        // NaDP partitioning is pure planning: the model charges it no
+        // simulated time, so the span is wall-clock only (zero sim duration).
+        let nadp_span = rec.begin("spmm.nadp_partition", Track::MAIN);
         let use_nadp = cfg.nadp && topo.nodes() > 1;
         let (sparse_parts, groups): (Vec<(Range<u32>, Placement)>, Vec<Group>) = if use_nadp {
             let plan = NadpPlan::build(a, d, &topo, cfg.threads);
@@ -329,6 +393,9 @@ impl SpmmEngine {
                 }],
             )
         };
+        rec.arg(&nadp_span, "groups", groups.len());
+        rec.arg(&nadp_span, "nadp", use_nadp);
+        rec.end(nadp_span, Some(SimDuration::ZERO));
 
         // --- Capacity reservations -----------------------------------------
         // Sparse structures: per home partition, its nnz share of the bytes.
@@ -358,6 +425,15 @@ impl SpmmEngine {
         let alloc_time = SimDuration::from_secs_f64(
             cfg.alloc.overhead_cpu_ops(a.rows()) as f64 / self.sys.model().cpu_ops_per_sec,
         );
+        // The allocation scheme's simulated cost is charged up front; the
+        // per-group `allocate` calls below run during the wall-clock window
+        // of `spmm.execute`.
+        let eata_span = rec.begin("spmm.eata_assign", Track::MAIN);
+        rec.end(eata_span, Some(alloc_time));
+
+        let exec_span = rec.begin("spmm.execute", Track::MAIN);
+        // All socket groups start executing at the same simulated instant.
+        let exec_base = rec.cursor(Track::MAIN);
 
         let mut result = DenseMatrix::zeros(n, d);
         let mut thread_times = vec![SimDuration::ZERO; cfg.threads];
@@ -366,8 +442,10 @@ impl SpmmEngine {
         let mut group_makespans: Vec<SimDuration> = Vec::new();
         let mut total_fetches = 0u64;
         let mut total_hits = 0u64;
+        let mut total_misses = 0u64;
+        let mut total_wasted = 0u64;
 
-        for group in &groups {
+        for (gi, group) in groups.iter().enumerate() {
             if group.cols.is_empty() || group.threads.is_empty() {
                 group_makespans.push(SimDuration::ZERO);
                 continue;
@@ -394,11 +472,7 @@ impl SpmmEngine {
             };
 
             // Place this group's dense column block and result block.
-            let b_part = PlacedMatrix::new(
-                &self.sys,
-                dense_home,
-                b.columns(group.cols.clone()),
-            )?;
+            let b_part = PlacedMatrix::new(&self.sys, dense_home, b.columns(group.cols.clone()))?;
             let c_part = PlacedMatrix::zeros(&self.sys, dense_home, n, group.cols.len())?;
 
             // ASL plan from the staging budget.
@@ -501,14 +575,15 @@ impl SpmmEngine {
                 let mut batch_max = SimDuration::ZERO;
                 for (wi, (block, stats, counters)) in outputs.into_iter().enumerate() {
                     let w = &workloads[wi];
-                    let t = self
-                        .sys
-                        .model()
-                        .thread_time(&counters, cfg.threads as u32);
+                    let t = self.sys.model().thread_time(&counters, cfg.threads as u32);
                     batch_max = batch_max.max(t);
                     per_workload_time[wi] += t;
                     per_workload_stats[wi].dense_fetches += stats.dense_fetches;
                     per_workload_stats[wi].prefetch_hits += stats.prefetch_hits;
+                    per_workload_stats[wi].prefetch_misses += stats.prefetch_misses;
+                    // A property of the workload's prefetcher, identical in
+                    // every batch — assign, don't accumulate.
+                    per_workload_stats[wi].wasted_prefetches = stats.wasted_prefetches;
                     merged.merge(&counters);
                     thread_times[w.thread] += t;
                     // Scatter the block into the global result.
@@ -546,13 +621,74 @@ impl SpmmEngine {
             for (wi, w) in workloads.iter().enumerate() {
                 thread_times[w.thread] += prefetch_overheads[wi];
             }
-            let makespan = prefetch_setup
-                + streaming_makespan(&compute_times, &load_times, &flush_times);
+            let makespan =
+                prefetch_setup + streaming_makespan(&compute_times, &load_times, &flush_times);
             group_makespans.push(makespan);
+
+            // Replay the group's pipeline onto its trace tracks: pid 1+home
+            // (pid 0 is the main program), tid 0 = compute lane, tid 1 =
+            // background stream lane.
+            if rec.is_enabled() {
+                let pid = 1 + group.home.unwrap_or(gi) as u32;
+                let label = match group.home {
+                    Some(node) => format!("socket{node}"),
+                    None => format!("group{gi}"),
+                };
+                let compute_track = Track::new(pid, 0);
+                let stream_track = Track::new(pid, 1);
+                rec.set_track_name(compute_track, &format!("{label} compute"));
+                if asl_active {
+                    rec.set_track_name(stream_track, &format!("{label} stream"));
+                }
+                if prefetch_setup > SimDuration::ZERO {
+                    rec.record_interval(
+                        "wofp.prefetch",
+                        compute_track,
+                        exec_base,
+                        prefetch_setup,
+                        vec![("workloads".into(), workloads.len().to_string())],
+                    );
+                }
+                let sched = streaming_schedule(&compute_times, &load_times, &flush_times);
+                let base = exec_base + prefetch_setup;
+                for (k, &(start, dur)) in sched.compute.iter().enumerate() {
+                    rec.record_interval(
+                        "asl.batch",
+                        compute_track,
+                        base + start,
+                        dur,
+                        vec![("batch".into(), k.to_string())],
+                    );
+                }
+                for (k, &(start, dur)) in sched.load.iter().enumerate() {
+                    if dur > SimDuration::ZERO {
+                        rec.record_interval(
+                            "asl.load",
+                            stream_track,
+                            base + start,
+                            dur,
+                            vec![("batch".into(), k.to_string())],
+                        );
+                    }
+                }
+                for (k, &(start, dur)) in sched.flush.iter().enumerate() {
+                    if dur > SimDuration::ZERO {
+                        rec.record_interval(
+                            "asl.flush",
+                            stream_track,
+                            base + start,
+                            dur,
+                            vec![("batch".into(), k.to_string())],
+                        );
+                    }
+                }
+            }
 
             for (wi, w) in workloads.iter().enumerate() {
                 total_fetches += per_workload_stats[wi].dense_fetches;
                 total_hits += per_workload_stats[wi].prefetch_hits;
+                total_misses += per_workload_stats[wi].prefetch_misses;
+                total_wasted += per_workload_stats[wi].wasted_prefetches;
                 workload_reports.push(WorkloadReport {
                     thread: w.thread,
                     rows: w.row_count(),
@@ -562,6 +698,8 @@ impl SpmmEngine {
                     time: per_workload_time[wi] + prefetch_overheads[wi],
                     dense_fetches: per_workload_stats[wi].dense_fetches,
                     prefetch_hits: per_workload_stats[wi].prefetch_hits,
+                    prefetch_misses: per_workload_stats[wi].prefetch_misses,
+                    wasted_prefetches: per_workload_stats[wi].wasted_prefetches,
                     prefetcher: prefetchers[wi].as_ref().map(|p| p.kind()),
                 });
             }
@@ -572,11 +710,23 @@ impl SpmmEngine {
         }
         drop(reservations);
 
-        let makespan = alloc_time
-            + group_makespans
-                .into_iter()
-                .fold(SimDuration::ZERO, SimDuration::max);
+        let exec_time = group_makespans
+            .into_iter()
+            .fold(SimDuration::ZERO, SimDuration::max);
+        let makespan = alloc_time + exec_time;
         let stats = ThreadStats::from_times(&thread_times);
+
+        rec.end(exec_span, Some(exec_time));
+        rec.end(run_span, None);
+        rec.counter_add("spmm.runs", 1);
+        rec.counter_add("spmm.dense_fetches", total_fetches);
+        rec.counter_add("spmm.prefetch_hits", total_hits);
+        rec.counter_add("spmm.prefetch_misses", total_misses);
+        rec.counter_add("spmm.wasted_prefetches", total_wasted);
+        if total_fetches > 0 {
+            rec.gauge_set("wofp.hit_rate", total_hits as f64 / total_fetches as f64);
+        }
+        self.lifetime.lock().merge(&merged);
 
         Ok(SpmmRun {
             result,
@@ -588,6 +738,8 @@ impl SpmmEngine {
             counters: merged,
             dense_fetches: total_fetches,
             prefetch_hits: total_hits,
+            prefetch_misses: total_misses,
+            wasted_prefetches: total_wasted,
         })
     }
 
@@ -641,9 +793,7 @@ impl SpmmEngine {
     fn reserve(&self, placement: Placement, bytes: u64) -> Result<MemReservation> {
         let gov = self.sys.governor().clone();
         match placement {
-            Placement::Node { node, device } => {
-                Ok(MemReservation::new(gov, node, device, bytes)?)
-            }
+            Placement::Node { node, device } => Ok(MemReservation::new(gov, node, device, bytes)?),
             Placement::Interleaved { device } => {
                 // Approximate an interleaved reservation as node 0 + node 1
                 // halves; MemReservation handles one pair, so reserve the
@@ -672,7 +822,6 @@ impl SpmmEngine {
     }
 
     /// Run all of a group's workloads for one column batch on real threads.
-    #[allow(clippy::too_many_arguments)]
     #[allow(clippy::too_many_arguments)]
     fn run_batch(
         &self,
@@ -703,9 +852,9 @@ impl SpmmEngine {
             .unwrap_or(4)
             .min(workloads.len().max(1));
 
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..parallelism {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let wi = next.fetch_add(1, Ordering::Relaxed);
                     if wi >= workloads.len() {
                         break;
@@ -722,8 +871,7 @@ impl SpmmEngine {
                     slots.lock()[wi] = Some((block, stats, ctx.take_counters()));
                 });
             }
-        })
-        .expect("worker threads must not panic");
+        });
 
         slots
             .into_inner()
@@ -754,11 +902,46 @@ mod tests {
     }
 
     fn engine(cfg: SpmmConfig) -> SpmmEngine {
-        SpmmEngine::new(
-            MemSystem::new(Topology::paper_machine_scaled(8 << 20)),
-            cfg,
-        )
-        .unwrap()
+        SpmmEngine::new(MemSystem::new(Topology::paper_machine_scaled(8 << 20)), cfg).unwrap()
+    }
+
+    #[test]
+    fn recorder_trace_matches_makespan_and_fetch_accounting() {
+        let g = graph(512, 4_000);
+        let b = gaussian_matrix(512, 16, 5);
+        let rec = Recorder::enabled();
+        let eng = engine(SpmmConfig::omega(8)).with_recorder(rec.clone());
+        let run = eng.spmm(&g, &b).unwrap();
+
+        // Every fetch is either a staging hit or a miss.
+        assert_eq!(run.prefetch_hits + run.prefetch_misses, run.dense_fetches);
+        for w in &run.workloads {
+            assert_eq!(w.prefetch_hits + w.prefetch_misses, w.dense_fetches);
+            assert!(w.hit_rate() >= 0.0 && w.hit_rate() <= 1.0);
+        }
+
+        // The root span's simulated duration is exactly the run's makespan
+        // (eata_assign + execute; nadp_partition is zero-cost).
+        let spans = rec.spans();
+        let root = spans.iter().find(|s| s.name == "spmm.run").unwrap();
+        assert_eq!(root.sim_dur_ns, run.makespan.as_nanos());
+        let exec = spans.iter().find(|s| s.name == "spmm.execute").unwrap();
+        assert_eq!(exec.sim_dur_ns, (run.makespan - run.alloc_time).as_nanos());
+        assert!(exec.depth > root.depth, "execute nests inside run");
+        // Pipeline intervals land on per-socket tracks and stay within the
+        // execute window.
+        let batches: Vec<_> = spans.iter().filter(|s| s.name == "asl.batch").collect();
+        assert!(!batches.is_empty());
+        for s in &batches {
+            assert!(s.track.pid >= 1);
+            assert!(s.sim_start_ns >= exec.sim_start_ns);
+            assert!(s.sim_start_ns + s.sim_dur_ns <= exec.sim_start_ns + exec.sim_dur_ns);
+        }
+        // Metrics mirror the run's totals.
+        let snap = rec.metrics_snapshot();
+        assert_eq!(snap.counter("spmm.dense_fetches"), Some(run.dense_fetches));
+        assert_eq!(snap.counter("spmm.prefetch_hits"), Some(run.prefetch_hits));
+        assert_eq!(snap.counter("spmm.runs"), Some(1));
     }
 
     #[test]
@@ -782,7 +965,9 @@ mod tests {
             SpmmConfig::omega(4),
             SpmmConfig::omega_dram(4),
             SpmmConfig::omega_pm(4),
-            SpmmConfig::omega(4).with_alloc(AllocScheme::RoundRobin).with_nadp(false),
+            SpmmConfig::omega(4)
+                .with_alloc(AllocScheme::RoundRobin)
+                .with_nadp(false),
             SpmmConfig::omega(4).with_alloc(AllocScheme::WaTA),
             SpmmConfig::omega(4).with_wofp(None),
             SpmmConfig::omega(4).with_nadp(false),
@@ -838,7 +1023,9 @@ mod tests {
     fn nadp_reduces_remote_write_traffic() {
         let g = graph(1 << 10, 10_000);
         let b = gaussian_matrix(1 << 10, 8, 6);
-        let with = engine(SpmmConfig::omega(8).with_asl(None)).spmm(&g, &b).unwrap();
+        let with = engine(SpmmConfig::omega(8).with_asl(None))
+            .spmm(&g, &b)
+            .unwrap();
         let without = engine(SpmmConfig::omega(8).with_asl(None).with_nadp(false))
             .spmm(&g, &b)
             .unwrap();

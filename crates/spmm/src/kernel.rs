@@ -46,8 +46,29 @@ pub struct KernelStats {
     pub dense_fetches: u64,
     /// Fetches served by the WoFP staging area.
     pub prefetch_hits: u64,
+    /// Fetches that bypassed the staging area and paid the operand home's
+    /// cost (`dense_fetches − prefetch_hits`).
+    pub prefetch_misses: u64,
+    /// Staged entries the workload never referenced — dead DRAM capacity
+    /// plus a useless fill. Per workload, not per column: a degree-based
+    /// prefetcher stages *globally* hot columns, and this counts how many of
+    /// them this workload's rows never touch (the Fig. 19(b) high-η
+    /// degradation).
+    pub wasted_prefetches: u64,
     /// Entries staged per column by the prefetcher fill.
     pub fill_entries: u64,
+}
+
+impl KernelStats {
+    /// Fraction of dense fetches served from the DRAM staging area (the
+    /// Fig. 14 hit-rate axis). Zero when no fetches happened.
+    pub fn hit_rate(&self) -> f64 {
+        if self.dense_fetches == 0 {
+            0.0
+        } else {
+            self.prefetch_hits as f64 / self.dense_fetches as f64
+        }
+    }
 }
 
 /// Execute one workload over `cols` dense columns, returning the result
@@ -72,18 +93,28 @@ pub fn run_workload(
 
     // Split of step-③ fetches between the staging area and the operand
     // home; constant across columns, computed once.
-    let (member_fetches, total_fetches) = match prefetcher {
+    let (member_fetches, total_fetches, wasted_prefetches) = match prefetcher {
         Some(p) if p.entries() > 0 => {
             let mut member = 0u64;
             let mut total = 0u64;
+            let mut referenced = vec![false; inp.csdb.cols() as usize];
+            let mut distinct = 0u64;
             for v in workload.rows.iter() {
                 let (row_cols, _) = inp.csdb.row(v);
                 total += row_cols.len() as u64;
-                member += row_cols.iter().filter(|&&c| p.contains(c)).count() as u64;
+                for &c in row_cols {
+                    if p.contains(c) {
+                        member += 1;
+                        if !referenced[c as usize] {
+                            referenced[c as usize] = true;
+                            distinct += 1;
+                        }
+                    }
+                }
             }
-            (member, total)
+            (member, total, p.entries() as u64 - distinct)
         }
-        _ => (0, workload.nnzs),
+        _ => (0, workload.nnzs, 0),
     };
     let miss_fetches = total_fetches - member_fetches;
     let fill_entries = prefetcher.map_or(0, |p| p.entries() as u64);
@@ -97,7 +128,10 @@ pub fn run_workload(
     let z = omega_graph::stats::normalized_entropy(workload.entropy, inp.csdb.cols());
     let rand_count = |count: u64| -> u64 { ((count as f64) * z).round() as u64 };
 
-    let mut stats = KernelStats::default();
+    let mut stats = KernelStats {
+        wasted_prefetches,
+        ..KernelStats::default()
+    };
 
     // Per-column charges, following Algorithm 1's column-outer loop: for
     // every dense column the workload re-streams its sparse structures
@@ -171,6 +205,7 @@ pub fn run_workload(
         charge_fetches(inp.dense_read, miss_fetches, ctx);
         stats.dense_fetches += total_fetches;
         stats.prefetch_hits += member_fetches;
+        stats.prefetch_misses += miss_fetches;
 
         // The dynamic (frequency-based) prefetcher maintains its top-M
         // hashmap during execution — counting, eviction and insertion cost
@@ -299,7 +334,8 @@ mod tests {
         let (g, sys) = setup();
         let d = 8;
         let b = gaussian_matrix(g.rows() as usize, d, 3);
-        let placed = PlacedMatrix::new(&sys, Placement::node(0, DeviceKind::Pm), b.clone()).unwrap();
+        let placed =
+            PlacedMatrix::new(&sys, Placement::node(0, DeviceKind::Pm), b.clone()).unwrap();
         let parts = [(0..g.rows(), Placement::node(0, DeviceKind::Pm))];
         let inp = KernelInputs {
             csdb: &g,
@@ -333,7 +369,8 @@ mod tests {
         let (g, sys) = setup();
         let d = 4;
         let b = gaussian_matrix(g.rows() as usize, d, 9);
-        let placed = PlacedMatrix::new(&sys, Placement::node(0, DeviceKind::Pm), b.clone()).unwrap();
+        let placed =
+            PlacedMatrix::new(&sys, Placement::node(0, DeviceKind::Pm), b.clone()).unwrap();
         let parts = [(0..g.rows(), Placement::node(0, DeviceKind::Pm))];
         let inp = KernelInputs {
             csdb: &g,
@@ -397,10 +434,18 @@ mod tests {
         assert_eq!(out_with, out_without);
         // Hits recorded and PM random-read bytes reduced.
         assert!(stats.prefetch_hits > 0);
+        assert_eq!(
+            stats.prefetch_hits + stats.prefetch_misses,
+            stats.dense_fetches,
+            "every fetch is either a staging hit or a miss"
+        );
+        assert!(stats.hit_rate() > 0.0 && stats.hit_rate() <= 1.0);
+        assert!(
+            stats.wasted_prefetches < p.entries() as u64,
+            "a frequency prefetcher built from this workload stages mostly-referenced columns"
+        );
         let pm_rand = |c: &omega_hetmem::ClassCounters| {
-            c.bytes_where(|cl| {
-                cl.device == DeviceKind::Pm && cl.pattern == AccessPattern::Rand
-            })
+            c.bytes_where(|cl| cl.device == DeviceKind::Pm && cl.pattern == AccessPattern::Rand)
         };
         assert!(
             pm_rand(with.counters()) < pm_rand(without.counters()),
@@ -445,7 +490,8 @@ mod tests {
     fn strided_workload_computes_correctly() {
         let (g, sys) = setup();
         let b = gaussian_matrix(g.rows() as usize, 2, 8);
-        let placed = PlacedMatrix::new(&sys, Placement::node(0, DeviceKind::Pm), b.clone()).unwrap();
+        let placed =
+            PlacedMatrix::new(&sys, Placement::node(0, DeviceKind::Pm), b.clone()).unwrap();
         let parts = [(0..g.rows(), Placement::node(0, DeviceKind::Pm))];
         let inp = KernelInputs {
             csdb: &g,

@@ -128,7 +128,9 @@ mod tests {
     use omega_graph::RmatConfig;
 
     fn setup() -> (Csdb, Topology) {
-        let csr = RmatConfig::social(1 << 10, 8_000, 9).generate_csr().unwrap();
+        let csr = RmatConfig::social(1 << 10, 8_000, 9)
+            .generate_csr()
+            .unwrap();
         (
             Csdb::from_csr(&csr).unwrap(),
             Topology::paper_machine_scaled(1 << 20),
@@ -156,9 +158,7 @@ mod tests {
     fn sparse_split_balances_nnz() {
         let (g, topo) = setup();
         let plan = NadpPlan::build(&g, 16, &topo, 4);
-        let nnz_of = |r: &Range<u32>| -> u64 {
-            (r.start..r.end).map(|v| g.degree(v) as u64).sum()
-        };
+        let nnz_of = |r: &Range<u32>| -> u64 { (r.start..r.end).map(|v| g.degree(v) as u64).sum() };
         let a = nnz_of(&plan.sparse_rows[0]) as f64;
         let b = nnz_of(&plan.sparse_rows[1]) as f64;
         let ratio = a.max(b) / a.min(b).max(1.0);

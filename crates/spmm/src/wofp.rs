@@ -183,7 +183,9 @@ mod tests {
     use omega_graph::{Csdb, RmatConfig};
 
     fn graph() -> Csdb {
-        let csr = RmatConfig::social(1 << 10, 8_000, 3).generate_csr().unwrap();
+        let csr = RmatConfig::social(1 << 10, 8_000, 3)
+            .generate_csr()
+            .unwrap();
         Csdb::from_csr(&csr).unwrap()
     }
 

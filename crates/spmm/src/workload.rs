@@ -61,8 +61,7 @@ impl RowSet {
     /// Whether processing order is a contiguous scan (sequential index
     /// reads, the property EaTA preserves).
     pub fn is_contiguous(&self) -> bool {
-        matches!(self, RowSet::Range { .. })
-            || matches!(self, RowSet::Strided { stride: 1, .. })
+        matches!(self, RowSet::Range { .. }) || matches!(self, RowSet::Strided { stride: 1, .. })
     }
 }
 
@@ -232,10 +231,7 @@ mod tests {
         // Second half starts at the right nnz offset.
         let w2 = Workload::contiguous(1, &g, 3, g.rows());
         assert_eq!(w2.nnz_start, g.deg_ptr(3));
-        assert_eq!(
-            w.nnzs,
-            Workload::contiguous(0, &g, 0, 3).nnzs + w2.nnzs
-        );
+        assert_eq!(w.nnzs, Workload::contiguous(0, &g, 0, 3).nnzs + w2.nnzs);
     }
 
     #[test]

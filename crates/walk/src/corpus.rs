@@ -48,10 +48,22 @@ mod tests {
         assert_eq!(
             pairs,
             vec![
-                SkipGramPair { center: 1, context: 2 },
-                SkipGramPair { center: 2, context: 1 },
-                SkipGramPair { center: 2, context: 3 },
-                SkipGramPair { center: 3, context: 2 },
+                SkipGramPair {
+                    center: 1,
+                    context: 2
+                },
+                SkipGramPair {
+                    center: 2,
+                    context: 1
+                },
+                SkipGramPair {
+                    center: 2,
+                    context: 3
+                },
+                SkipGramPair {
+                    center: 3,
+                    context: 2
+                },
             ]
         );
         // Window 2 covers the ends too.

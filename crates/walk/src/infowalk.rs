@@ -56,11 +56,7 @@ impl<'g> InfoWalker<'g> {
                 (!w.is_empty()).then(|| AliasTable::new(w))
             })
             .collect();
-        InfoWalker {
-            graph,
-            tables,
-            cfg,
-        }
+        InfoWalker { graph, tables, cfg }
     }
 
     /// Shannon entropy of a visit-count multiset.

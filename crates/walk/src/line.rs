@@ -101,8 +101,8 @@ impl LineModel {
         let mut tail_n = 0u64;
 
         for step in 0..self.cfg.samples {
-            let lr = self.cfg.learning_rate
-                * (1.0 - step as f32 / self.cfg.samples as f32).max(0.1);
+            let lr =
+                self.cfg.learning_rate * (1.0 - step as f32 / self.cfg.samples as f32).max(0.1);
             let e = edges.sample(&mut rng);
             let (u, v) = (edge_src[e] as usize, edge_dst[e] as usize);
             // Snapshot u's vector so target updates (which may alias u in
@@ -245,5 +245,4 @@ mod tests {
         let g = omega_graph::GraphBuilder::new(3).build_csr().unwrap();
         LineModel::new(3, LineConfig::default()).train(&g);
     }
-
 }

@@ -92,8 +92,7 @@ impl SgnsModel {
                 let center = pair.center as usize;
                 let targets: Vec<(u32, f32)> = std::iter::once((pair.context, 1.0))
                     .chain(
-                        (0..self.cfg.negatives)
-                            .map(|_| (negatives.sample(&mut rng) as u32, 0.0)),
+                        (0..self.cfg.negatives).map(|_| (negatives.sample(&mut rng) as u32, 0.0)),
                     )
                     .collect();
                 for (target, label) in targets {

@@ -66,11 +66,7 @@ impl<'g> Walker<'g> {
                 (!w.is_empty()).then(|| AliasTable::new(w))
             })
             .collect();
-        Walker {
-            graph,
-            tables,
-            cfg,
-        }
+        Walker { graph, tables, cfg }
     }
 
     pub fn config(&self) -> &WalkConfig {
@@ -103,13 +99,7 @@ impl<'g> Walker<'g> {
 
     /// node2vec second-order transition: weight × 1/p when returning to the
     /// previous node, ×1 for common neighbours of `prev`, ×1/q otherwise.
-    fn biased_step(
-        &self,
-        prev: u32,
-        neigh: &[u32],
-        weights: &[f32],
-        rng: &mut SmallRng,
-    ) -> u32 {
+    fn biased_step(&self, prev: u32, neigh: &[u32], weights: &[f32], rng: &mut SmallRng) -> u32 {
         let (prev_neigh, _) = self.graph.row(prev);
         let biased: Vec<f32> = neigh
             .iter()
@@ -155,12 +145,12 @@ impl<'g> Walker<'g> {
         let workers = workers.max(1).min(total.max(1));
         let chunk = total.div_ceil(workers);
         let mut out: Vec<Vec<Vec<u32>>> = Vec::with_capacity(workers);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     let start = w * chunk;
                     let end = ((w + 1) * chunk).min(total);
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         (start..end)
                             .map(|idx| {
                                 let round = idx / n;
@@ -180,8 +170,7 @@ impl<'g> Walker<'g> {
             for h in handles {
                 out.push(h.join().expect("walk worker must not panic"));
             }
-        })
-        .expect("walk scope");
+        });
         out.into_iter().flatten().collect()
     }
 
@@ -249,7 +238,11 @@ mod tests {
         let w = Walker::new(&g, WalkConfig::deepwalk(3, 8, 11));
         let serial = w.generate_all();
         for workers in [1, 2, 5, 16] {
-            assert_eq!(w.generate_all_parallel(workers), serial, "{workers} workers");
+            assert_eq!(
+                w.generate_all_parallel(workers),
+                serial,
+                "{workers} workers"
+            );
         }
     }
 

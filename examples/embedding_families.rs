@@ -68,7 +68,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             pairs.len()
         );
         results.push((
-            if p == 1.0 && q == 1.0 { "DeepWalk" } else { "node2vec" },
+            if p == 1.0 && q == 1.0 {
+                "DeepWalk"
+            } else {
+                "node2vec"
+            },
             Embedding::from_matrix(&model.embedding()),
         ));
     }

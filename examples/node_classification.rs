@@ -75,8 +75,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let emb = run.embedding.vector(v);
             let best = (0..centroids.len())
                 .max_by(|&a, &b| {
-                    let da: f64 = emb.iter().zip(&centroids[a]).map(|(&x, &m)| x as f64 * m).sum();
-                    let db: f64 = emb.iter().zip(&centroids[b]).map(|(&x, &m)| x as f64 * m).sum();
+                    let da: f64 = emb
+                        .iter()
+                        .zip(&centroids[a])
+                        .map(|(&x, &m)| x as f64 * m)
+                        .sum();
+                    let db: f64 = emb
+                        .iter()
+                        .zip(&centroids[b])
+                        .map(|(&x, &m)| x as f64 * m)
+                        .sum();
                     da.partial_cmp(&db).expect("finite")
                 })
                 .expect("non-empty");

@@ -41,7 +41,10 @@ fn fig12_ordering_on_pk_twin() {
         .run(&g)
         .time()
         .unwrap();
-    let prone_hm = ProneBaseline::hm(topo(), THREADS, DIM).run(&g).time().unwrap();
+    let prone_hm = ProneBaseline::hm(topo(), THREADS, DIM)
+        .run(&g)
+        .time()
+        .unwrap();
     let cfg = SsdSystemConfig {
         threads: THREADS,
         dim: DIM,
@@ -57,7 +60,10 @@ fn fig12_ordering_on_pk_twin() {
         ("Ginex", ginex),
         ("MariusGNN", marius),
     ] {
-        assert!(t > omega, "{name} ({t}) should be slower than OMeGa ({omega})");
+        assert!(
+            t > omega,
+            "{name} ({t}) should be slower than OMeGa ({omega})"
+        );
     }
     // And ProNE-HM is slower than ProNE-DRAM (the PM sparse streams).
     assert!(prone_hm > prone_dram);
@@ -105,8 +111,14 @@ fn fig18b_spmm_ordering() {
     let csdb = Csdb::from_csr(&g).unwrap();
     let b = gaussian_matrix(g.rows() as usize, DIM, 1);
     let omega = omega_spmm_time(topo(), THREADS, &csdb, &b).time().unwrap();
-    let sem = SemSpmm::new(topo(), THREADS).run_spmm(&g, DIM).time().unwrap();
-    let fused = FusedMm::new(topo(), THREADS).run_spmm(&g, DIM).time().unwrap();
+    let sem = SemSpmm::new(topo(), THREADS)
+        .run_spmm(&g, DIM)
+        .time()
+        .unwrap();
+    let fused = FusedMm::new(topo(), THREADS)
+        .run_spmm(&g, DIM)
+        .time()
+        .unwrap();
     assert!(
         sem.ratio(omega) > 4.0,
         "SEM-SpMM should trail OMeGa clearly ({})",

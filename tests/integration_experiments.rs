@@ -25,11 +25,25 @@ fn table2_shape_eata_best_rr_worst() {
     let g = Dataset::Lj.load_scaled(SCALE).unwrap();
     let csdb = Csdb::from_csr(&g).unwrap();
     let b = gaussian_matrix(g.rows() as usize, DIM, 2);
-    let rr = spmm_time(SpmmConfig::omega(THREADS).with_alloc(AllocScheme::RoundRobin), &csdb, &b);
-    let wata = spmm_time(SpmmConfig::omega(THREADS).with_alloc(AllocScheme::WaTA), &csdb, &b);
+    let rr = spmm_time(
+        SpmmConfig::omega(THREADS).with_alloc(AllocScheme::RoundRobin),
+        &csdb,
+        &b,
+    );
+    let wata = spmm_time(
+        SpmmConfig::omega(THREADS).with_alloc(AllocScheme::WaTA),
+        &csdb,
+        &b,
+    );
     let eata = spmm_time(SpmmConfig::omega(THREADS), &csdb, &b);
-    assert!(rr > wata * 1.5, "RR ({rr}) should clearly trail WaTA ({wata})");
-    assert!(eata <= wata * 1.02, "EaTA ({eata}) should not trail WaTA ({wata})");
+    assert!(
+        rr > wata * 1.5,
+        "RR ({rr}) should clearly trail WaTA ({wata})"
+    );
+    assert!(
+        eata <= wata * 1.02,
+        "EaTA ({eata}) should not trail WaTA ({wata})"
+    );
 }
 
 #[test]
@@ -67,7 +81,9 @@ fn fig14_shape_wofp_improves_pm_resident_spmm() {
         &b,
     );
     let with = spmm_time(
-        SpmmConfig::omega(THREADS).with_asl(None).with_wofp(Some(WofpConfig::default())),
+        SpmmConfig::omega(THREADS)
+            .with_asl(None)
+            .with_wofp(Some(WofpConfig::default())),
         &csdb,
         &b,
     );
@@ -119,8 +135,11 @@ fn fig19a_shape_csdb_reads_faster() {
     for d in [Dataset::Pk, Dataset::Tw] {
         let g = d.load_scaled(SCALE).unwrap();
         let csdb = Csdb::from_csr(&g).unwrap();
-        let speedup = csr_read_time(&g, &model, DeviceKind::Pm)
-            .ratio(csdb_read_time(&csdb, &model, DeviceKind::Pm));
+        let speedup = csr_read_time(&g, &model, DeviceKind::Pm).ratio(csdb_read_time(
+            &csdb,
+            &model,
+            DeviceKind::Pm,
+        ));
         assert!(
             speedup > 1.1 && speedup < 2.5,
             "{}: CSDB read speedup {speedup} outside the Fig. 19(a) band",
@@ -138,7 +157,10 @@ fn fig19c_shape_sigma_sweep_is_u_shaped() {
         spmm_time(
             SpmmConfig::omega(THREADS)
                 .with_asl(None)
-                .with_wofp(Some(WofpConfig { sigma, ..WofpConfig::default() })),
+                .with_wofp(Some(WofpConfig {
+                    sigma,
+                    ..WofpConfig::default()
+                })),
             &csdb,
             &b,
         )
@@ -146,7 +168,10 @@ fn fig19c_shape_sigma_sweep_is_u_shaped() {
     let tiny = time(0.002);
     let mid = time(0.1);
     let huge = time(0.9);
-    assert!(mid < tiny, "more staging should beat near-none: {mid} !< {tiny}");
+    assert!(
+        mid < tiny,
+        "more staging should beat near-none: {mid} !< {tiny}"
+    );
     assert!(
         huge > mid * 0.95,
         "oversized staging should stop helping: {huge} vs {mid}"

@@ -102,14 +102,18 @@ fn engine_matches_reference_product() {
     let b = gaussian_matrix(300, 12, 4);
     let mut reference = DenseMatrix::zeros(300, 12);
     for t in 0..12 {
-        reference.col_mut(t).copy_from_slice(&csdb.spmv(b.col(t)).unwrap());
+        reference
+            .col_mut(t)
+            .copy_from_slice(&csdb.spmv(b.col(t)).unwrap());
     }
     for cfg in [
         SpmmConfig::omega(7),
         SpmmConfig::omega_dram(3),
         SpmmConfig::omega_pm(5),
         SpmmConfig::omega(4).with_alloc(AllocScheme::RoundRobin),
-        SpmmConfig::omega(4).with_alloc(AllocScheme::WaTA).with_asl(None),
+        SpmmConfig::omega(4)
+            .with_alloc(AllocScheme::WaTA)
+            .with_asl(None),
     ] {
         let eng = SpmmEngine::new(
             MemSystem::new(Topology::paper_machine_scaled(16 << 20)),
@@ -130,7 +134,12 @@ fn operators_agree_across_formats() {
     let csr = RmatConfig::social(200, 1_500, 2).generate_csr().unwrap();
     let csdb = Csdb::from_csr(&csr).unwrap();
     // (A + A) - A == A through both formats.
-    let via_csdb = csdb.add(&csdb).unwrap().sub(&csdb).unwrap().to_csr_original();
+    let via_csdb = csdb
+        .add(&csdb)
+        .unwrap()
+        .sub(&csdb)
+        .unwrap()
+        .to_csr_original();
     let via_csr = csr.add(&csr).unwrap().sub(&csr).unwrap();
     assert_eq!(via_csdb, via_csr);
     // Transpose of a symmetric matrix is itself.

@@ -1,0 +1,157 @@
+//! Cross-crate integration of the observability layer: run a small embed
+//! with a live recorder, export the Chrome trace and metrics JSONL, and
+//! validate both against the run's own report.
+
+use omega::obs::{export, json, Recorder};
+use omega::{Omega, OmegaConfig};
+use omega_graph::RmatConfig;
+use serde::Value;
+
+/// One parsed "X" (complete) trace event.
+struct Event {
+    name: String,
+    pid: u64,
+    tid: u64,
+    start_ns: f64,
+    dur_ns: f64,
+    depth: u64,
+}
+
+fn run_embed() -> (omega::OmegaRun, Recorder) {
+    let graph = RmatConfig::social(400, 3_000, 21).generate_csr().unwrap();
+    let rec = Recorder::enabled();
+    let omega = Omega::new(OmegaConfig::default().with_threads(4).with_dim(8))
+        .unwrap()
+        .with_recorder(rec.clone());
+    (omega.embed(&graph).unwrap(), rec)
+}
+
+fn parse_events(trace: &str) -> Vec<Event> {
+    let doc = json::parse(trace).unwrap();
+    let events = doc.get("traceEvents").unwrap().as_seq().unwrap();
+    events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+        .map(|e| {
+            let args = e.get("args").unwrap();
+            Event {
+                name: e.get("name").and_then(Value::as_str).unwrap().to_string(),
+                pid: e.get("pid").and_then(Value::as_u64).unwrap(),
+                tid: e.get("tid").and_then(Value::as_u64).unwrap(),
+                // ts/dur are microseconds; args carry exact nanoseconds.
+                start_ns: args.get("sim_start_ns").and_then(Value::as_f64).unwrap(),
+                dur_ns: args.get("sim_dur_ns").and_then(Value::as_f64).unwrap(),
+                depth: args.get("depth").and_then(Value::as_u64).unwrap(),
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn chrome_trace_spans_nest_and_cover_total_time() {
+    let (run, rec) = run_embed();
+    let events = parse_events(&rec.chrome_trace_json());
+    assert!(!events.is_empty());
+
+    let find = |name: &str| {
+        events
+            .iter()
+            .find(|e| e.name == name)
+            .unwrap_or_else(|| panic!("missing span {name}"))
+    };
+    let root = find("prone.embed");
+
+    // Root span duration equals the run's end-to-end simulated time (the
+    // phases close with exact durations, so this holds to within 1%).
+    let total_ns = run.total_time().as_nanos() as f64;
+    assert!(
+        (root.dur_ns - total_ns).abs() <= total_ns * 0.01,
+        "root span {} ns vs total_time {} ns",
+        root.dur_ns,
+        total_ns
+    );
+
+    // The three phases nest inside the root, abut, and sum to it.
+    let contains = |outer: &Event, inner: &Event| {
+        inner.start_ns >= outer.start_ns
+            && inner.start_ns + inner.dur_ns <= outer.start_ns + outer.dur_ns
+    };
+    let read = find("prone.read");
+    let fact = find("prone.factorize");
+    let prop = find("prone.propagate");
+    for phase in [read, fact, prop] {
+        assert!(
+            contains(root, phase),
+            "{} escapes the root span",
+            phase.name
+        );
+        assert!(phase.depth > root.depth);
+        assert_eq!(phase.pid, root.pid);
+        assert_eq!(phase.tid, root.tid);
+    }
+    assert_eq!(read.start_ns + read.dur_ns, fact.start_ns);
+    assert_eq!(fact.start_ns + fact.dur_ns, prop.start_ns);
+    let phase_sum = read.dur_ns + fact.dur_ns + prop.dur_ns;
+    assert!((phase_sum - root.dur_ns).abs() <= root.dur_ns * 0.01);
+
+    // Engine spans nest inside the phases, deeper than them.
+    let runs: Vec<&Event> = events.iter().filter(|e| e.name == "spmm.run").collect();
+    assert_eq!(runs.len(), run.report.spmm_count);
+    for r in &runs {
+        assert!(r.depth > fact.depth);
+        assert!(contains(root, r));
+        // Every nested span fits inside exactly one phase.
+        assert!(
+            contains(read, r) || contains(fact, r) || contains(prop, r),
+            "spmm.run at {} ns straddles a phase boundary",
+            r.start_ns
+        );
+    }
+
+    // Pipeline intervals live on per-socket tracks (pid >= 1).
+    assert!(events.iter().any(|e| e.name == "asl.batch" && e.pid >= 1));
+}
+
+#[test]
+fn metrics_jsonl_matches_access_summary_exactly() {
+    let (run, rec) = run_embed();
+    let rows = export::parse_metrics_jsonl(&rec.metrics_jsonl()).unwrap();
+    let counter = |name: &str| -> u64 {
+        rows.iter()
+            .find(|(k, n, _)| k == "counter" && n == name)
+            .unwrap_or_else(|| panic!("missing counter {name}"))
+            .2 as u64
+    };
+    assert_eq!(counter("mem.total_bytes"), run.traffic.total_bytes);
+    assert_eq!(counter("mem.pm_bytes"), run.traffic.pm_bytes);
+    assert_eq!(counter("mem.dram_bytes"), run.traffic.dram_bytes);
+    assert_eq!(counter("mem.ssd_bytes"), run.traffic.ssd_bytes);
+    assert_eq!(counter("mem.remote_bytes"), run.traffic.remote_bytes);
+    assert!(run.traffic.pm_bytes > 0, "hetero mode moves PM bytes");
+
+    // SpMM accounting flowed through: runs counted and hit rate in range.
+    assert_eq!(counter("spmm.runs"), run.report.spmm_count as u64);
+    let hit_rate = rows
+        .iter()
+        .find(|(k, n, _)| k == "gauge" && n == "wofp.hit_rate");
+    if let Some((_, _, v)) = hit_rate {
+        assert!((0.0..=1.0).contains(v));
+    }
+}
+
+#[test]
+fn disabled_recorder_changes_nothing_and_exports_nothing() {
+    let graph = RmatConfig::social(400, 3_000, 21).generate_csr().unwrap();
+    let cfg = OmegaConfig::default().with_threads(4).with_dim(8);
+    let plain = Omega::new(cfg.clone()).unwrap().embed(&graph).unwrap();
+    let (observed, rec_disabled) = {
+        let rec = Recorder::disabled();
+        let omega = Omega::new(cfg).unwrap().with_recorder(rec.clone());
+        (omega.embed(&graph).unwrap(), rec)
+    };
+    // Identical numerics and identical simulated times.
+    assert_eq!(plain.embedding, observed.embedding);
+    assert_eq!(plain.total_time(), observed.total_time());
+    assert!(rec_disabled.metrics_jsonl().is_empty());
+    assert!(rec_disabled.spans().is_empty());
+}

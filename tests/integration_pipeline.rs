@@ -58,9 +58,13 @@ fn all_variants_produce_identical_embeddings() {
         SystemVariant::OmegaWithoutNadp,
         SystemVariant::OmegaWithoutAsl,
     ] {
-        let run = Omega::new(quick(8).with_variant(v)).unwrap().embed(&g).unwrap();
+        let run = Omega::new(quick(8).with_variant(v))
+            .unwrap()
+            .embed(&g)
+            .unwrap();
         assert_eq!(
-            run.embedding, reference.embedding,
+            run.embedding,
+            reference.embedding,
             "variant {} diverged numerically",
             v.label()
         );

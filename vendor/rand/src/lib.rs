@@ -1,0 +1,279 @@
+//! Minimal `rand` stand-in: the `RngCore`/`Rng`/`SeedableRng` trait stack
+//! and an xoshiro256++ `SmallRng`, covering exactly the API the workspace
+//! uses (`gen`, `gen_range`, `gen_bool`, `seed_from_u64`).
+//!
+//! Sequences differ from the real `rand` crate; in-repo code only relies
+//! on determinism for a fixed seed, which this implementation provides.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level generator interface.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types producible by `Rng::gen()` (the `Standard` distribution).
+pub trait StandardSample: Sized {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardSample for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    /// Uniform in [0, 1) with 53 bits of precision.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    /// Uniform in [0, 1) with 24 bits of precision.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges usable with `Rng::gen_range`.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as u128) - (start as u128) + 1;
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                start + (rng.next_u64() % span as u64) as $t
+            }
+        }
+    )*};
+}
+impl_range_int!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_range_signed {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + (rng.next_u64() % span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as i128 - start as i128 + 1) as u64;
+                (start as i128 + (rng.next_u64() % span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_range_float {
+    ($($t:ty => $std:ident),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let u: $t = <$t as StandardSample>::sample_standard(rng);
+                self.start + u * (self.end - self.start)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let u: $t = <$t as StandardSample>::sample_standard(rng);
+                start + u * (end - start)
+            }
+        }
+    )*};
+}
+impl_range_float!(f32 => f32, f64 => f64);
+
+/// High-level convenience methods, available on every `RngCore`.
+pub trait Rng: RngCore {
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable construction.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — small, fast, and of far higher quality than the
+    /// LCGs typically hidden behind "small" RNGs.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::*;
+
+    #[test]
+    fn determinism_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        let mut c = SmallRng::seed_from_u64(8);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+            let g: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10u32..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(0usize..=5);
+            assert!(w <= 5);
+            let x = rng.gen_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut counts = [0u32; 10];
+        for _ in 0..10_000 {
+            counts[rng.gen_range(0usize..10)] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "bucket count {c} out of range");
+        }
+    }
+
+    #[test]
+    fn works_through_mut_ref() {
+        fn sum3<R: RngCore>(mut rng: R) -> u64 {
+            rng.next_u64() ^ rng.next_u64() ^ rng.next_u64()
+        }
+        let mut rng = SmallRng::seed_from_u64(1);
+        let _ = sum3(&mut rng);
+        let _: f64 = (&mut rng).gen();
+    }
+}

@@ -1,0 +1,398 @@
+//! Hand-written `#[derive(Serialize, Deserialize)]` for the vendored serde
+//! stub. No `syn`/`quote`: the item's `TokenStream` is parsed directly (just
+//! enough to recover the shape — names of fields and variants) and the impl
+//! is generated as a source string.
+//!
+//! Supported shapes: non-generic structs (named / tuple / unit) and enums
+//! whose variants are unit, named-field, or tuple. Field *types* are never
+//! inspected — the generated code defers to `::serde::Serialize` /
+//! `::serde::Deserialize` impls. serde field attributes are not supported
+//! (none are used in this workspace).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+type TokenIter = Peekable<proc_macro::token_stream::IntoIter>;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---- item model ------------------------------------------------------------
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+// ---- parsing ---------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut it: TokenIter = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut it);
+
+    let kw = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected item name, got {other:?}"),
+    };
+    if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stub: generic type `{name}` is not supported");
+    }
+
+    let shape = match kw.as_str() {
+        "struct" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("serde_derive stub: malformed struct `{name}`: {other:?}"),
+        },
+        "enum" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive stub: malformed enum `{name}`: {other:?}"),
+        },
+        other => panic!("serde_derive stub: cannot derive for `{other}` items"),
+    };
+
+    Item { name, shape }
+}
+
+/// Skip leading `#[...]` attributes (incl. doc comments) and `pub` /
+/// `pub(...)` visibility.
+fn skip_attrs_and_vis(it: &mut TokenIter) {
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                match it.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    other => panic!("serde_derive stub: malformed attribute: {other:?}"),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                it.next();
+                if matches!(
+                    it.peek(),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    it.next();
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Skip tokens up to and including a comma at angle-bracket depth 0, or to
+/// the end of the stream. Parentheses/brackets/braces arrive as `Group`s so
+/// only `<`/`>` need explicit depth tracking.
+fn skip_past_comma(it: &mut TokenIter) {
+    let mut depth: i64 = 0;
+    for tt in it.by_ref() {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut it: TokenIter = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        match it.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            other => panic!("serde_derive stub: expected field name, got {other:?}"),
+        }
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive stub: expected `:` after field, got {other:?}"),
+        }
+        skip_past_comma(&mut it);
+    }
+    fields
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut it: TokenIter = body.into_iter().peekable();
+    let mut count = 0;
+    loop {
+        skip_attrs_and_vis(&mut it);
+        if it.peek().is_none() {
+            break;
+        }
+        count += 1;
+        skip_past_comma(&mut it);
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut it: TokenIter = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        let name = match it.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive stub: expected variant name, got {other:?}"),
+        };
+        let fields = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g.stream());
+                it.next();
+                VariantFields::Named(f)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                it.next();
+                VariantFields::Tuple(n)
+            }
+            _ => VariantFields::Unit,
+        };
+        variants.push(Variant { name, fields });
+        // Consume trailing `,` (and any explicit `= discr`, unused here).
+        skip_past_comma(&mut it);
+    }
+    variants
+}
+
+// ---- codegen ---------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{entries}])")
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let entries: String = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{entries}])")
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: String = variants.iter().map(|v| ser_variant_arm(name, v)).collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn ser_variant_arm(name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.fields {
+        VariantFields::Unit => format!(
+            "{name}::{vname} => \
+             ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+        ),
+        VariantFields::Named(fields) => {
+            let binds = fields.join(", ");
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value({f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "{name}::{vname} {{ {binds} }} => ::serde::Value::Map(::std::vec![(\
+                 ::std::string::String::from(\"{vname}\"), \
+                 ::serde::Value::Map(::std::vec![{entries}]))]),"
+            )
+        }
+        VariantFields::Tuple(1) => format!(
+            "{name}::{vname}(__f0) => ::serde::Value::Map(::std::vec![(\
+             ::std::string::String::from(\"{vname}\"), \
+             ::serde::Serialize::to_value(__f0))]),"
+        ),
+        VariantFields::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let entries: String = binds
+                .iter()
+                .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                .collect();
+            format!(
+                "{name}::{vname}({}) => ::serde::Value::Map(::std::vec![(\
+                 ::std::string::String::from(\"{vname}\"), \
+                 ::serde::Value::Seq(::std::vec![{entries}]))]),",
+                binds.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::map_field(__m, \"{f}\", \"{name}\")?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "let __m = ::serde::expect_map(__v, \"{name}\")?;\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})"
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let inits: String = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__seq[{i}])?,"))
+                .collect();
+            format!(
+                "let __seq = ::serde::expect_seq(__v, \"{name}\", {n})?;\n\
+                 ::std::result::Result::Ok({name}({inits}))"
+            )
+        }
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => gen_deserialize_enum(name, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) \
+             -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| matches!(v.fields, VariantFields::Unit))
+        .map(|v| {
+            let vname = &v.name;
+            format!("\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),")
+        })
+        .collect();
+
+    let data_arms: String = variants
+        .iter()
+        .filter_map(|v| {
+            let vname = &v.name;
+            match &v.fields {
+                VariantFields::Unit => None,
+                VariantFields::Named(fields) => {
+                    let inits: String = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(\
+                                 ::serde::map_field(__m, \"{f}\", \"{name}::{vname}\")?)?,"
+                            )
+                        })
+                        .collect();
+                    Some(format!(
+                        "\"{vname}\" => {{\n\
+                         let __m = ::serde::expect_map(__payload, \"{name}::{vname}\")?;\n\
+                         ::std::result::Result::Ok({name}::{vname} {{ {inits} }})\n}}"
+                    ))
+                }
+                VariantFields::Tuple(1) => Some(format!(
+                    "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                     ::serde::Deserialize::from_value(__payload)?)),"
+                )),
+                VariantFields::Tuple(n) => {
+                    let inits: String = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&__seq[{i}])?,"))
+                        .collect();
+                    Some(format!(
+                        "\"{vname}\" => {{\n\
+                         let __seq = \
+                         ::serde::expect_seq(__payload, \"{name}::{vname}\", {n})?;\n\
+                         ::std::result::Result::Ok({name}::{vname}({inits}))\n}}"
+                    ))
+                }
+            }
+        })
+        .collect();
+
+    format!(
+        "match __v {{\n\
+           ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+             {unit_arms}\n\
+             __other => ::std::result::Result::Err(::serde::DeError::msg(\
+               ::std::format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+           }},\n\
+           ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+             let (__k, __payload) = &__entries[0];\n\
+             match __k.as_str() {{\n\
+               {data_arms}\n\
+               __other => ::std::result::Result::Err(::serde::DeError::msg(\
+                 ::std::format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+             }}\n\
+           }},\n\
+           _ => ::std::result::Result::Err(\
+             ::serde::DeError::expected(\"variant\", \"{name}\")),\n\
+         }}"
+    )
+}
