@@ -1,0 +1,137 @@
+//! Serving latency — throughput and tail latency of the tiered embedding
+//! server (`omega-serve`) across popularity skews, cache budgets, and cold
+//! devices. Not a figure of the paper: this is the deployment-side
+//! companion to its training results, on the same simulated machine and
+//! bandwidth ratios (§III-D).
+//!
+//! Sweeps:
+//! * (a) Zipf skew s ∈ {0.6, 0.8, 1.0, 1.2} + uniform, PM cold tier;
+//! * (b) cache budget 4 → 64 shards at s = 1.0;
+//! * (c) PM vs SSD cold tier at s = 1.0.
+//!
+//! Writes machine-readable rows to `results/serving_latency.jsonl`.
+
+use omega_bench::{print_table, write_results_jsonl, DIM};
+use omega_embed::Embedding;
+use omega_hetmem::{DeviceKind, MemSystem, Placement, Topology};
+use omega_linalg::gaussian_matrix;
+use omega_obs::export::json_line;
+use omega_serve::{EmbedServer, Popularity, RequestStream, ServeConfig, WorkloadConfig};
+use serde::Serialize;
+
+const NODES: u32 = 20_000;
+const ROWS_PER_SHARD: usize = 64;
+const REQUESTS: usize = 10_000;
+const SEED: u64 = 42;
+
+/// One serving measurement.
+#[derive(Serialize)]
+struct Row {
+    panel: String,
+    workload: String,
+    cold: String,
+    cache_shards: u64,
+    requests: u64,
+    hit_rate: f64,
+    throughput_qps: f64,
+    p50_ns: u64,
+    p95_ns: u64,
+    p99_ns: u64,
+    sim_total_ms: f64,
+    cold_read_mib: f64,
+}
+
+fn serve(pop: Popularity, cache_shards: u64, cold: DeviceKind) -> Row {
+    let emb = Embedding::from_matrix(&gaussian_matrix(NODES as usize, DIM, SEED));
+    let shard_bytes = ROWS_PER_SHARD as u64 * DIM as u64 * 4;
+    // DRAM sized to twice the cache budget: the table itself only fits cold.
+    let sys = MemSystem::new(Topology::paper_machine_scaled(
+        (2 * cache_shards * shard_bytes).max(1 << 20),
+    ));
+    let cfg = ServeConfig::new(cache_shards * shard_bytes)
+        .rows_per_shard(ROWS_PER_SHARD)
+        .cold(Placement::node(0, cold));
+    let mut srv = EmbedServer::new(&sys, &emb, cfg).expect("cold tier holds the table");
+    let mut load = RequestStream::new(WorkloadConfig::lookups(NODES, pop, SEED));
+    let report = srv.run(&mut load, REQUESTS);
+    Row {
+        panel: String::new(),
+        workload: match pop {
+            Popularity::Uniform => "uniform".to_string(),
+            Popularity::Zipf { s } => format!("zipf-{s:.1}"),
+        },
+        cold: format!("{cold:?}"),
+        cache_shards,
+        requests: report.stats.requests,
+        hit_rate: report.stats.hit_rate(),
+        throughput_qps: report.throughput_qps(),
+        p50_ns: report.sim_percentile_ns(0.50),
+        p95_ns: report.sim_percentile_ns(0.95),
+        p99_ns: report.sim_percentile_ns(0.99),
+        sim_total_ms: report.total_sim.as_millis_f64(),
+        cold_read_mib: report.stats.cold_read_bytes as f64 / (1 << 20) as f64,
+    }
+}
+
+fn table_row(r: &Row) -> Vec<String> {
+    vec![
+        r.workload.clone(),
+        r.cold.clone(),
+        r.cache_shards.to_string(),
+        format!("{:.1}%", r.hit_rate * 100.0),
+        format!("{:.0}", r.throughput_qps),
+        r.p50_ns.to_string(),
+        r.p95_ns.to_string(),
+        r.p99_ns.to_string(),
+    ]
+}
+
+const HEADER: [&str; 8] = [
+    "workload", "cold", "cache", "hit rate", "qps", "p50 ns", "p95 ns", "p99 ns",
+];
+
+fn main() {
+    let mut jsonl = String::new();
+
+    // (a) skew sweep at a fixed 16-shard cache.
+    let mut rows = Vec::new();
+    for pop in [
+        Popularity::Uniform,
+        Popularity::Zipf { s: 0.6 },
+        Popularity::Zipf { s: 0.8 },
+        Popularity::Zipf { s: 1.0 },
+        Popularity::Zipf { s: 1.2 },
+    ] {
+        let mut r = serve(pop, 16, DeviceKind::Pm);
+        r.panel = "a".to_string();
+        rows.push(table_row(&r));
+        jsonl.push_str(&json_line(&r));
+    }
+    print_table(
+        "Serving (a): popularity skew, PM cold tier, 16-shard cache",
+        &HEADER,
+        &rows,
+    );
+
+    // (b) cache-budget sweep at s = 1.0.
+    let mut rows = Vec::new();
+    for cache_shards in [4u64, 8, 16, 32, 64] {
+        let mut r = serve(Popularity::Zipf { s: 1.0 }, cache_shards, DeviceKind::Pm);
+        r.panel = "b".to_string();
+        rows.push(table_row(&r));
+        jsonl.push_str(&json_line(&r));
+    }
+    print_table("Serving (b): cache budget sweep, zipf-1.0", &HEADER, &rows);
+
+    // (c) cold-device comparison at s = 1.0.
+    let mut rows = Vec::new();
+    for cold in [DeviceKind::Pm, DeviceKind::Ssd] {
+        let mut r = serve(Popularity::Zipf { s: 1.0 }, 16, cold);
+        r.panel = "c".to_string();
+        rows.push(table_row(&r));
+        jsonl.push_str(&json_line(&r));
+    }
+    print_table("Serving (c): PM vs SSD cold tier, zipf-1.0", &HEADER, &rows);
+
+    write_results_jsonl("serving_latency", &jsonl);
+}

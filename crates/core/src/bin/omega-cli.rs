@@ -7,6 +7,12 @@
 //!                   [--trace-out trace.json] [--metrics-out metrics.jsonl]
 //! omega-cli generate --nodes 10000 --edges 200000 --seed 7 --output g.txt
 //! omega-cli stats   --input graph.txt
+//! omega-cli serve   --requests 10000 --zipf 1.0 [--input emb.txt]
+//!                   [--nodes 10000 --dim 64] [--seed 42]
+//!                   [--rows-per-shard 64] [--cache-shards 16] [--batch 64]
+//!                   [--cold pm|ssd] [--topk-fraction 0.0] [--k 10]
+//!                   [--no-admission]
+//!                   [--trace-out trace.json] [--metrics-out metrics.jsonl]
 //! ```
 //!
 //! `--trace-out` writes a Chrome-trace-event JSON of the run's simulated
@@ -41,7 +47,12 @@ const USAGE: &str = "usage:
                      [--no-wofp] [--no-nadp] [--no-asl]
                      [--trace-out <file>] [--metrics-out <file>]
   omega-cli generate --nodes N --edges M [--seed S] --output <file>
-  omega-cli stats    --input <edge-list>";
+  omega-cli stats    --input <edge-list>
+  omega-cli serve    --requests N [--zipf S | --uniform] [--input <emb>]
+                     [--nodes N --dim D] [--seed S] [--rows-per-shard R]
+                     [--cache-shards C] [--batch B] [--cold pm|ssd]
+                     [--topk-fraction F] [--k K] [--no-admission]
+                     [--trace-out <file>] [--metrics-out <file>]";
 
 /// Parsed `--key value` / `--flag` arguments.
 struct Opts {
@@ -99,6 +110,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "embed" => embed(&opts),
         "generate" => generate(&opts),
         "stats" => stats(&opts),
+        "serve" => serve(&opts),
         other => Err(format!("unknown command {other:?}")),
     }
 }
@@ -169,6 +181,130 @@ fn embed(opts: &Opts) -> Result<(), String> {
     std::fs::write(&output, run.embedding.to_text())
         .map_err(|e| format!("writing {output}: {e}"))?;
     eprintln!("wrote {output}");
+    if let Some(path) = trace_out {
+        std::fs::write(&path, rec.chrome_trace_json())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote trace {path} (load in Perfetto / chrome://tracing)");
+    }
+    if let Some(path) = metrics_out {
+        std::fs::write(&path, rec.metrics_jsonl()).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote metrics {path}");
+    }
+    Ok(())
+}
+
+/// Serve point-lookup / top-k traffic against an embedding on the simulated
+/// tiered machine and report dual-clock latency percentiles. The whole run
+/// is deterministic in `--seed`: same seed, same metrics JSONL bytes.
+fn serve(opts: &Opts) -> Result<(), String> {
+    use omega::hetmem::{DeviceKind, MemSystem, Placement, Topology};
+    use omega::serve::{EmbedServer, Popularity, RequestStream, ServeConfig, WorkloadConfig};
+
+    let requests: usize = opts.get_or("requests", 10_000)?;
+    let seed: u64 = opts.get_or("seed", 42)?;
+    let rows_per_shard: usize = opts.get_or("rows-per-shard", 64)?;
+    let cache_shards: u64 = opts.get_or("cache-shards", 16)?;
+    let batch: usize = opts.get_or("batch", 64)?;
+    let topk_fraction: f64 = opts.get_or("topk-fraction", 0.0)?;
+    let k: usize = opts.get_or("k", 10)?;
+    let popularity = if opts.flag("uniform") {
+        Popularity::Uniform
+    } else {
+        Popularity::Zipf {
+            s: opts.get_or("zipf", 1.0)?,
+        }
+    };
+    let cold_device = match opts.values.get("cold").map(String::as_str).unwrap_or("pm") {
+        "pm" => DeviceKind::Pm,
+        "ssd" => DeviceKind::Ssd,
+        other => return Err(format!("unknown --cold {other:?} (pm|ssd)")),
+    };
+
+    // Embedding: a trained word2vec-text table, or a deterministic synthetic
+    // one (`--nodes`/`--dim`) for load testing without a training run.
+    let emb = match opts.values.get("input") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            omega::Embedding::parse(&text)
+                .ok_or_else(|| format!("{path}: not a word2vec-text embedding"))?
+        }
+        None => {
+            let nodes: usize = opts.get_or("nodes", 10_000)?;
+            let dim: usize = opts.get_or("dim", 64)?;
+            omega::Embedding::from_matrix(&omega::linalg::gaussian_matrix(nodes, dim, seed))
+        }
+    };
+    eprintln!("serving {} nodes x {} dims", emb.nodes(), emb.dim());
+
+    // Size DRAM so the cold tier always holds the table (PM is 8x DRAM per
+    // node, SSD 40x) while the cache budget stays `cache-shards` shards:
+    // DRAM is the larger of twice that budget and an eighth of the table.
+    let shard_bytes = rows_per_shard as u64 * emb.dim() as u64 * 4;
+    let table_bytes = emb.nodes() as u64 * emb.dim() as u64 * 4;
+    let sys = MemSystem::new(Topology::paper_machine_scaled(
+        (2 * cache_shards * shard_bytes)
+            .max(table_bytes.div_ceil(8))
+            .max(1 << 16),
+    ));
+    let cfg = ServeConfig::new(cache_shards * shard_bytes)
+        .rows_per_shard(rows_per_shard)
+        .cold(Placement::node(0, cold_device))
+        .batch_size(batch)
+        .admission(!opts.flag("no-admission"));
+
+    let trace_out = opts.values.get("trace-out").cloned();
+    let metrics_out = opts.values.get("metrics-out").cloned();
+    let rec = if trace_out.is_some() || metrics_out.is_some() {
+        Recorder::enabled()
+    } else {
+        Recorder::disabled()
+    };
+
+    let mut srv = EmbedServer::new(&sys, &emb, cfg)
+        .map_err(|e| format!("placing shards on {cold_device:?}: {e}"))?
+        .with_recorder(&rec, omega::obs::Track::MAIN);
+    let mut load = RequestStream::new(
+        WorkloadConfig::lookups(emb.nodes(), popularity, seed).with_topk(topk_fraction, k),
+    );
+    let report = srv.run(&mut load, requests);
+
+    let st = &report.stats;
+    println!("requests          {}", st.requests);
+    println!("  point lookups   {}", st.lookups);
+    println!("  top-k queries   {}", st.topks);
+    println!("batches           {}", st.batches);
+    println!(
+        "cache             {} hits / {} misses (hit rate {:.1}%)",
+        st.hits,
+        st.misses,
+        st.hit_rate() * 100.0
+    );
+    println!(
+        "                  {} fetches, {} evictions, {} admission rejects",
+        st.fetches, st.evictions, st.admission_rejects
+    );
+    println!(
+        "traffic           {} cold B read, {} DRAM B read, {} DRAM B written",
+        st.cold_read_bytes, st.dram_read_bytes, st.dram_write_bytes
+    );
+    println!("simulated time    {}", report.total_sim);
+    println!(
+        "throughput        {:.0} req/s (simulated)",
+        report.throughput_qps()
+    );
+    println!(
+        "latency (sim ns)  p50 {}  p95 {}  p99 {}",
+        report.sim_percentile_ns(0.50),
+        report.sim_percentile_ns(0.95),
+        report.sim_percentile_ns(0.99)
+    );
+    println!(
+        "latency (wall us) p50 {}  p95 {}  p99 {}",
+        report.wall_percentile_us(0.50),
+        report.wall_percentile_us(0.95),
+        report.wall_percentile_us(0.99)
+    );
+
     if let Some(path) = trace_out {
         std::fs::write(&path, rec.chrome_trace_json())
             .map_err(|e| format!("writing {path}: {e}"))?;
@@ -281,6 +417,52 @@ mod tests {
         .unwrap();
         let text = std::fs::read_to_string(&e).unwrap();
         assert!(text.lines().next().unwrap().ends_with(" 8"));
+    }
+
+    #[test]
+    fn serve_is_deterministic_and_zipf_head_stays_cached() {
+        let dir = std::env::temp_dir().join("omega_cli_serve_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let m1 = dir.join("m1.jsonl");
+        let m2 = dir.join("m2.jsonl");
+        let serve_args = |out: &std::path::Path| {
+            s(&[
+                "serve",
+                "--requests",
+                "2000",
+                "--zipf",
+                "1.0",
+                "--nodes",
+                "2000",
+                "--dim",
+                "8",
+                "--seed",
+                "7",
+                "--rows-per-shard",
+                "32",
+                "--cache-shards",
+                "8",
+                "--metrics-out",
+                out.to_str().unwrap(),
+            ])
+        };
+        run(&serve_args(&m1)).unwrap();
+        run(&serve_args(&m2)).unwrap();
+        let a = std::fs::read(&m1).unwrap();
+        assert_eq!(a, std::fs::read(&m2).unwrap(), "same seed, same bytes");
+
+        let rows = omega::obs::export::parse_metrics_jsonl(&String::from_utf8(a).unwrap()).unwrap();
+        let counter = |name: &str| {
+            rows.iter()
+                .find(|(k, n, _)| k == "counter" && n == name)
+                .map(|(_, _, v)| *v)
+                .unwrap_or_else(|| panic!("missing counter {name}"))
+        };
+        assert_eq!(counter("serve.requests"), 2000.0);
+        assert!(
+            counter("serve.cache.hit") > counter("serve.cache.miss"),
+            "Zipf(1.0) head must stay DRAM-resident"
+        );
     }
 
     #[test]

@@ -4,6 +4,115 @@
 
 use omega_linalg::ops::cosine;
 use omega_linalg::DenseMatrix;
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Similarity metric used to score a query vector against node vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Metric {
+    /// Raw dot product (the link-prediction score).
+    Dot,
+    /// Cosine similarity (dot product of L2-normalised vectors).
+    Cosine,
+}
+
+impl Metric {
+    /// Score `candidate` against `query`.
+    #[inline]
+    pub fn score(self, query: &[f32], candidate: &[f32]) -> f32 {
+        match self {
+            Metric::Dot => omega_linalg::ops::dot(query, candidate),
+            Metric::Cosine => cosine(query, candidate),
+        }
+    }
+
+    pub const fn label(self) -> &'static str {
+        match self {
+            Metric::Dot => "dot",
+            Metric::Cosine => "cosine",
+        }
+    }
+}
+
+/// A scored candidate in a top-k selection. Ordering is total and
+/// deterministic: higher score wins, ties break towards the *smaller* node
+/// id.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Scored {
+    score: f32,
+    node: u32,
+}
+
+impl Eq for Scored {}
+
+impl Ord for Scored {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.score
+            .total_cmp(&other.score)
+            .then(other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for Scored {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Streaming partial top-k selection (no full sort): a bounded min-heap that
+/// keeps the `k` best `(node, score)` pairs pushed so far. Shared by
+/// [`Embedding::top_k`] and the blocked scan kernel in `omega-serve`, so both
+/// paths produce bit-identical results, including tie order.
+#[derive(Debug, Clone)]
+pub struct TopK {
+    k: usize,
+    heap: BinaryHeap<Reverse<Scored>>,
+}
+
+impl TopK {
+    /// A selector that keeps the best `k` candidates.
+    pub fn new(k: usize) -> TopK {
+        TopK {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    /// Offer one candidate. O(log k) when it displaces, O(1) when rejected.
+    #[inline]
+    pub fn push(&mut self, node: u32, score: f32) {
+        if self.k == 0 {
+            return;
+        }
+        let cand = Scored { score, node };
+        if self.heap.len() < self.k {
+            self.heap.push(Reverse(cand));
+        } else if let Some(&Reverse(worst)) = self.heap.peek() {
+            if cand > worst {
+                self.heap.pop();
+                self.heap.push(Reverse(cand));
+            }
+        }
+    }
+
+    /// Number of candidates currently held (≤ k).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The kept candidates, best first (score descending, ties by ascending
+    /// node id).
+    pub fn into_sorted_vec(self) -> Vec<(u32, f32)> {
+        let mut out: Vec<Scored> = self.heap.into_iter().map(|Reverse(s)| s).collect();
+        out.sort_unstable_by(|a, b| b.cmp(a));
+        out.into_iter().map(|s| (s.node, s.score)).collect()
+    }
+}
 
 /// A learned embedding: `nodes × d`, row-major, rows in original node order.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,10 +148,28 @@ impl Embedding {
         self.d
     }
 
-    /// The vector of node `v`.
+    /// The vector of node `v`. Panics if `v` is out of range; use
+    /// [`Embedding::try_vector`] for checked access.
     #[inline]
     pub fn vector(&self, v: u32) -> &[f32] {
-        &self.data[v as usize * self.d..(v as usize + 1) * self.d]
+        self.try_vector(v).unwrap_or_else(|| {
+            panic!(
+                "node id {v} out of range (embedding has {} nodes)",
+                self.nodes
+            )
+        })
+    }
+
+    /// The vector of node `v`, or `None` if `v >= nodes`. Serving paths and
+    /// samplers that handle untrusted node ids go through this.
+    #[inline]
+    pub fn try_vector(&self, v: u32) -> Option<&[f32]> {
+        if v < self.nodes {
+            let start = v as usize * self.d;
+            Some(&self.data[start..start + self.d])
+        } else {
+            None
+        }
     }
 
     /// Raw row-major data.
@@ -60,15 +187,27 @@ impl Embedding {
         cosine(self.vector(u), self.vector(v))
     }
 
+    /// The `k` best-scoring nodes for an arbitrary query vector, by partial
+    /// selection (a bounded heap — no full sort of all `nodes` scores).
+    ///
+    /// Results are score-descending; equal scores order by ascending node id,
+    /// so the output is fully deterministic. `query` must have length `d`.
+    pub fn top_k(&self, query: &[f32], k: usize, metric: Metric) -> Vec<(u32, f32)> {
+        assert_eq!(query.len(), self.d, "query dimension mismatch");
+        let mut sel = TopK::new(k);
+        for v in 0..self.nodes {
+            sel.push(v, metric.score(query, self.vector(v)));
+        }
+        sel.into_sorted_vec()
+    }
+
     /// The `k` nearest nodes to `v` by cosine similarity (excluding `v`).
     pub fn nearest(&self, v: u32, k: usize) -> Vec<(u32, f32)> {
-        let mut scored: Vec<(u32, f32)> = (0..self.nodes)
-            .filter(|&u| u != v)
-            .map(|u| (u, self.cosine(v, u)))
-            .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite similarities"));
-        scored.truncate(k);
-        scored
+        self.top_k(self.vector(v), k + 1, Metric::Cosine)
+            .into_iter()
+            .filter(|&(u, _)| u != v)
+            .take(k)
+            .collect()
     }
 
     /// L2-normalise every node vector in place.
@@ -151,6 +290,71 @@ mod tests {
         assert_eq!(nn[1].0, 2);
         let top1 = e.nearest(0, 1);
         assert_eq!(top1.len(), 1);
+    }
+
+    #[test]
+    fn try_vector_boundary() {
+        let e = sample(); // 3 nodes
+        assert_eq!(e.try_vector(0), Some(&[1.0f32, 0.0][..]));
+        assert_eq!(e.try_vector(2), Some(&[0.0f32, 1.0][..]));
+        // The boundary: v == nodes is the first out-of-range id.
+        assert_eq!(e.try_vector(3), None);
+        assert_eq!(e.try_vector(u32::MAX), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn vector_panics_past_boundary() {
+        let _ = sample().vector(3);
+    }
+
+    #[test]
+    fn top_k_matches_full_sort() {
+        let e = Embedding::from_row_major(
+            5,
+            2,
+            vec![1.0, 0.0, 0.5, 0.5, -1.0, 0.0, 0.0, 1.0, 2.0, 0.0],
+        );
+        let q = [1.0f32, 0.25];
+        for metric in [Metric::Dot, Metric::Cosine] {
+            let got = e.top_k(&q, 3, metric);
+            let mut full: Vec<(u32, f32)> =
+                (0..5).map(|v| (v, metric.score(&q, e.vector(v)))).collect();
+            full.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+            full.truncate(3);
+            assert_eq!(got, full, "metric {}", metric.label());
+        }
+    }
+
+    #[test]
+    fn top_k_ties_break_by_ascending_id() {
+        // Nodes 0, 1 and 3 are identical; 2 is orthogonal.
+        let e = Embedding::from_row_major(4, 2, vec![1.0, 0.0, 1.0, 0.0, 0.0, 1.0, 1.0, 0.0]);
+        let top = e.top_k(&[1.0, 0.0], 2, Metric::Dot);
+        assert_eq!(top, vec![(0, 1.0), (1, 1.0)]);
+        // Deterministic: repeated calls give byte-identical output.
+        assert_eq!(top, e.top_k(&[1.0, 0.0], 2, Metric::Dot));
+        // k larger than the tie group keeps ids sorted within the tie.
+        let top3 = e.top_k(&[1.0, 0.0], 3, Metric::Dot);
+        assert_eq!(top3, vec![(0, 1.0), (1, 1.0), (3, 1.0)]);
+    }
+
+    #[test]
+    fn top_k_handles_degenerate_k() {
+        let e = sample();
+        assert!(e.top_k(&[1.0, 0.0], 0, Metric::Dot).is_empty());
+        assert_eq!(e.top_k(&[1.0, 0.0], 10, Metric::Dot).len(), 3);
+    }
+
+    #[test]
+    fn top_k_selector_streams() {
+        let mut sel = TopK::new(2);
+        assert!(sel.is_empty());
+        for (node, score) in [(4u32, 0.5f32), (1, 1.5), (2, 1.5), (3, -2.0)] {
+            sel.push(node, score);
+        }
+        assert_eq!(sel.len(), 2);
+        assert_eq!(sel.into_sorted_vec(), vec![(1, 1.5), (2, 1.5)]);
     }
 
     #[test]

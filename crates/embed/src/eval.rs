@@ -86,7 +86,7 @@ pub fn node_classification_micro_f1(
         for (c, w) in weights.iter_mut().enumerate() {
             let mut grad = vec![0f32; d + 1];
             for &v in train {
-                let x = emb.vector(v as u32);
+                let x = emb.try_vector(v as u32).expect("train split id in range");
                 let y = if labels[v] as usize == c { 1.0 } else { 0.0 };
                 let z: f32 = w[d] + x.iter().zip(&w[..d]).map(|(a, b)| a * b).sum::<f32>();
                 let p = 1.0 / (1.0 + (-z).exp());
@@ -106,7 +106,7 @@ pub fn node_classification_micro_f1(
     // Predict argmax score on the test split.
     let mut correct = 0usize;
     for &v in test {
-        let x = emb.vector(v as u32);
+        let x = emb.try_vector(v as u32).expect("test split id in range");
         let mut best = (0usize, f32::NEG_INFINITY);
         for (c, w) in weights.iter().enumerate() {
             let z: f32 = w[d] + x.iter().zip(&w[..d]).map(|(a, b)| a * b).sum::<f32>();

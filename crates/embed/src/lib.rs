@@ -21,7 +21,7 @@ pub mod laplacian;
 pub mod prone;
 pub mod tsvd;
 
-pub use embedding::Embedding;
+pub use embedding::{Embedding, Metric, TopK};
 pub use prone::{Prone, ProneConfig, ProneReport};
 
 /// Errors from the embedding pipeline.

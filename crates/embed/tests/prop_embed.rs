@@ -5,6 +5,7 @@ use omega_embed::laplacian::{
     adjacency_plus_identity, log_proximity, modulated_rw_laplacian, normalized_adjacency,
     transition_matrix,
 };
+use omega_embed::Embedding;
 use omega_graph::{Csr, GraphBuilder};
 use proptest::prelude::*;
 
@@ -82,5 +83,35 @@ proptest! {
         let lhs = bessel_iv(k - 1, x) - bessel_iv(k + 1, x);
         let rhs = 2.0 * k as f64 / x * bessel_iv(k, x);
         prop_assert!((lhs - rhs).abs() < 1e-9 * rhs.abs().max(1.0), "{lhs} vs {rhs}");
+    }
+
+    /// Word2vec text serialisation round-trips an arbitrary embedding within
+    /// the `{:.6}` fixed-point precision `Embedding::to_text` writes.
+    #[test]
+    fn word2vec_text_roundtrip(
+        nodes in 1u32..24,
+        d in 1usize..12,
+        seed in 0u64..1_000,
+        scale in 0.01f32..100.0,
+    ) {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let data: Vec<f32> = (0..nodes as usize * d)
+            .map(|_| (rng.gen::<f32>() - 0.5) * 2.0 * scale)
+            .collect();
+        let emb = Embedding::from_row_major(nodes, d, data);
+
+        let back = Embedding::parse(&emb.to_text()).expect("own output parses");
+        prop_assert_eq!(back.nodes(), emb.nodes());
+        prop_assert_eq!(back.dim(), emb.dim());
+        for v in 0..nodes {
+            for (a, b) in back.vector(v).iter().zip(emb.vector(v)) {
+                // to_text writes 6 fractional decimal digits; the absolute
+                // error is bounded by half an ulp of that grid.
+                prop_assert!((a - b).abs() <= 5e-7 + b.abs() * 1e-6,
+                    "node {v}: {a} vs {b}");
+            }
+        }
     }
 }

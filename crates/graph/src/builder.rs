@@ -92,7 +92,7 @@ impl GraphBuilder {
         }
 
         // Sort by (row, col) then dedup.
-        directed.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        directed.sort_unstable_by_key(|a| (a.0, a.1));
         let mut dedup: Vec<(u32, u32, f32)> = Vec::with_capacity(directed.len());
         for (u, v, w) in directed {
             match dedup.last_mut() {

@@ -58,7 +58,7 @@ impl Csr {
 
     /// Build from (row, col, value) triples (must reference valid indices).
     pub fn from_triples(rows: u32, cols: u32, mut triples: Vec<(u32, u32, f32)>) -> Result<Self> {
-        triples.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        triples.sort_unstable_by_key(|a| (a.0, a.1));
         let mut row_ptr = vec![0u64; rows as usize + 1];
         for &(r, c, _) in &triples {
             if r >= rows {

@@ -127,8 +127,8 @@ pub fn svd_tall(a: &DenseMatrix) -> Result<Svd> {
     let v = eig.u;
     let mut u = crate::gemm::gemm(a, &v)?;
     let tol = s.first().copied().unwrap_or(0.0) * 1e-6;
-    for c in 0..n {
-        let inv = if s[c] > tol { 1.0 / s[c] } else { 0.0 };
+    for (c, &sc) in s.iter().enumerate().take(n) {
+        let inv = if sc > tol { 1.0 / sc } else { 0.0 };
         for x in u.col_mut(c) {
             *x *= inv;
         }

@@ -1,0 +1,284 @@
+//! The hot tier: a capacity-bounded DRAM cache of shards with LRU eviction
+//! and TinyLFU-style frequency admission.
+//!
+//! Admission is what keeps a Zipfian working set resident: a one-off scan
+//! (or the cold tail of the popularity curve) cannot displace a shard that
+//! has historically seen more traffic than the newcomer. Frequency counters
+//! age by periodic halving so the cache still adapts when popularity drifts.
+
+use omega_hetmem::{HetVec, MemSystem, Placement};
+use std::collections::BTreeMap;
+
+/// Outcome of offering a fetched shard to the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The shard is now DRAM-resident.
+    Admitted {
+        /// Shards evicted to make room.
+        evicted: usize,
+    },
+    /// The LRU victim is historically hotter than the candidate; the cache
+    /// kept its contents (scan resistance).
+    RejectedByFrequency,
+    /// The shard cannot fit (bigger than the whole cache budget, or DRAM
+    /// itself is exhausted).
+    RejectedByCapacity,
+}
+
+impl InsertOutcome {
+    pub fn admitted(self) -> bool {
+        matches!(self, InsertOutcome::Admitted { .. })
+    }
+
+    pub fn evicted(self) -> usize {
+        match self {
+            InsertOutcome::Admitted { evicted } => evicted,
+            _ => 0,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct CacheSlot {
+    data: HetVec<f32>,
+    last_use: u64,
+}
+
+/// Shard-granular DRAM cache: LRU replacement, frequency-gated admission.
+#[derive(Debug)]
+pub struct HotCache {
+    slots: BTreeMap<usize, CacheSlot>,
+    hot: Placement,
+    capacity_bytes: u64,
+    used_bytes: u64,
+    /// Exact per-shard access frequency (the "sketch" of TinyLFU, kept
+    /// exact here — shard counts are small).
+    freq: Vec<u32>,
+    /// Logical access clock; drives LRU ordering and frequency aging.
+    clock: u64,
+    /// Accesses between halvings of every frequency counter.
+    aging_period: u64,
+    admission: bool,
+}
+
+impl HotCache {
+    pub fn new(num_shards: usize, capacity_bytes: u64, hot: Placement, admission: bool) -> Self {
+        HotCache {
+            slots: BTreeMap::new(),
+            hot,
+            capacity_bytes,
+            used_bytes: 0,
+            freq: vec![0; num_shards],
+            clock: 0,
+            aging_period: (16 * num_shards as u64).max(1024),
+            admission,
+        }
+    }
+
+    /// The DRAM placement cached shards live at.
+    #[inline]
+    pub fn placement(&self) -> Placement {
+        self.hot
+    }
+
+    #[inline]
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    #[inline]
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    /// Number of resident shards.
+    #[inline]
+    pub fn resident(&self) -> usize {
+        self.slots.len()
+    }
+
+    #[inline]
+    pub fn contains(&self, sid: usize) -> bool {
+        self.slots.contains_key(&sid)
+    }
+
+    /// Historical access count of a shard (aged).
+    #[inline]
+    pub fn freq(&self, sid: usize) -> u32 {
+        self.freq[sid]
+    }
+
+    /// Record an access to `sid`: bump its frequency, refresh LRU recency if
+    /// resident, and age all counters on period boundaries.
+    pub fn record_access(&mut self, sid: usize) {
+        self.clock += 1;
+        self.freq[sid] = self.freq[sid].saturating_add(1);
+        if self.clock.is_multiple_of(self.aging_period) {
+            for f in &mut self.freq {
+                *f /= 2;
+            }
+        }
+        let clock = self.clock;
+        if let Some(slot) = self.slots.get_mut(&sid) {
+            slot.last_use = clock;
+        }
+    }
+
+    /// The resident buffer for `sid`, if cached. Reads through the returned
+    /// [`HetVec`] are charged as DRAM traffic by the caller's context.
+    #[inline]
+    pub fn slot(&self, sid: usize) -> Option<&HetVec<f32>> {
+        self.slots.get(&sid).map(|s| &s.data)
+    }
+
+    /// Offer shard `sid`'s freshly fetched rows for DRAM residency.
+    ///
+    /// Evicts LRU victims until the shard fits, unless admission control
+    /// finds a victim with strictly higher historical frequency than the
+    /// candidate — then the cache keeps its contents and rejects the
+    /// newcomer.
+    pub fn insert(&mut self, sys: &MemSystem, sid: usize, rows: Vec<f32>) -> InsertOutcome {
+        debug_assert!(!self.contains(sid), "insert of resident shard");
+        let bytes = std::mem::size_of_val(rows.as_slice()) as u64;
+        if bytes > self.capacity_bytes {
+            return InsertOutcome::RejectedByCapacity;
+        }
+        let mut evicted = 0;
+        while self.used_bytes + bytes > self.capacity_bytes {
+            let victim = self
+                .slots
+                .iter()
+                .min_by_key(|(vid, slot)| (slot.last_use, **vid))
+                .map(|(vid, _)| *vid)
+                .expect("used_bytes > 0 implies a resident shard");
+            if self.admission && self.freq[victim] > self.freq[sid] {
+                return InsertOutcome::RejectedByFrequency;
+            }
+            let slot = self.slots.remove(&victim).unwrap();
+            self.used_bytes -= slot.data.size_bytes();
+            evicted += 1;
+            // Dropping the HetVec releases its governor lease.
+        }
+        match sys.alloc_from(self.hot, rows) {
+            Ok(data) => {
+                self.used_bytes += data.size_bytes();
+                self.slots.insert(
+                    sid,
+                    CacheSlot {
+                        data,
+                        last_use: self.clock,
+                    },
+                );
+                InsertOutcome::Admitted { evicted }
+            }
+            // DRAM itself is full (the budget over-promised): treat as a
+            // capacity rejection rather than an error — serving falls back
+            // to the cold tier.
+            Err(_) => InsertOutcome::RejectedByCapacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omega_hetmem::{DeviceKind, Topology};
+
+    fn sys() -> MemSystem {
+        MemSystem::new(Topology::paper_machine_scaled(1 << 20))
+    }
+
+    fn dram() -> Placement {
+        Placement::node(0, DeviceKind::Dram)
+    }
+
+    fn shard(fill: f32) -> Vec<f32> {
+        vec![fill; 8] // 32 bytes
+    }
+
+    #[test]
+    fn admits_until_full_then_evicts_lru() {
+        let s = sys();
+        let mut c = HotCache::new(8, 64, dram(), false); // room for 2 shards
+        assert!(c.insert(&s, 0, shard(0.0)).admitted());
+        assert!(c.insert(&s, 1, shard(1.0)).admitted());
+        assert_eq!(c.resident(), 2);
+        assert_eq!(c.used_bytes(), 64);
+
+        // Touch 0 so 1 becomes the LRU victim.
+        c.record_access(0);
+        let out = c.insert(&s, 2, shard(2.0));
+        assert_eq!(out, InsertOutcome::Admitted { evicted: 1 });
+        assert!(c.contains(0) && c.contains(2) && !c.contains(1));
+    }
+
+    #[test]
+    fn frequency_admission_protects_hot_shard() {
+        let s = sys();
+        let mut c = HotCache::new(8, 32, dram(), true); // room for 1 shard
+        c.record_access(0);
+        c.record_access(0);
+        assert!(c.insert(&s, 0, shard(0.0)).admitted());
+
+        // Shard 1 has seen less traffic than the resident victim: rejected.
+        c.record_access(1);
+        assert_eq!(
+            c.insert(&s, 1, shard(1.0)),
+            InsertOutcome::RejectedByFrequency
+        );
+        assert!(c.contains(0));
+
+        // Once shard 1 overtakes, it displaces shard 0.
+        c.record_access(1);
+        c.record_access(1);
+        assert!(c.insert(&s, 1, shard(1.0)).admitted());
+        assert!(c.contains(1) && !c.contains(0));
+    }
+
+    #[test]
+    fn admission_off_always_evicts() {
+        let s = sys();
+        let mut c = HotCache::new(8, 32, dram(), false);
+        for _ in 0..10 {
+            c.record_access(0);
+        }
+        assert!(c.insert(&s, 0, shard(0.0)).admitted());
+        assert!(c.insert(&s, 1, shard(1.0)).admitted());
+        assert!(c.contains(1) && !c.contains(0));
+    }
+
+    #[test]
+    fn oversized_shard_rejected_by_capacity() {
+        let s = sys();
+        let mut c = HotCache::new(8, 16, dram(), true);
+        assert_eq!(
+            c.insert(&s, 0, shard(0.0)),
+            InsertOutcome::RejectedByCapacity
+        );
+        assert_eq!(c.resident(), 0);
+    }
+
+    #[test]
+    fn eviction_releases_dram_lease() {
+        let s = sys();
+        let mut c = HotCache::new(8, 32, dram(), false);
+        assert!(c.insert(&s, 0, shard(0.0)).admitted());
+        let used = s.governor().usage(0, DeviceKind::Dram).used;
+        assert!(c.insert(&s, 1, shard(1.0)).admitted());
+        // One shard in, one out: DRAM footprint unchanged.
+        assert_eq!(s.governor().usage(0, DeviceKind::Dram).used, used);
+    }
+
+    #[test]
+    fn aging_halves_frequencies() {
+        let mut c = HotCache::new(4, 64, dram(), true);
+        c.aging_period = 4;
+        c.record_access(0);
+        c.record_access(0);
+        c.record_access(0);
+        assert_eq!(c.freq(0), 3);
+        c.record_access(1); // 4th access triggers halving
+        assert_eq!(c.freq(0), 1);
+        assert_eq!(c.freq(1), 0); // 1 incremented, then halved
+    }
+}

@@ -1,0 +1,677 @@
+//! The serving engine: batched point and top-k queries against a sharded
+//! cold store with a DRAM hot cache, every byte charged to the hetmem cost
+//! model and every phase visible as an `omega-obs` span.
+//!
+//! ## Cost accounting
+//!
+//! * **Fetch** (cache miss): the whole shard streams out of the cold tier
+//!   (`Seq` read of the shard's bytes) and stages into DRAM (`Seq` write) —
+//!   charged whether or not the cache admits the shard for retention.
+//! * **Serve** (every request): one random DRAM read of the requested row
+//!   plus `d` CPU ops for result extraction.
+//! * **Top-k scan**: cached shards stream from DRAM, uncached shards stream
+//!   from the cold tier directly (no admission, no recency bump), with
+//!   `2·d` CPU ops per scored candidate.
+//!
+//! The server keeps its own byte ledger (`cold_read_bytes`,
+//! `dram_read_bytes`, `dram_write_bytes`) alongside the merged
+//! [`ClassCounters`]; integration tests assert the two agree exactly.
+
+use crate::cache::{HotCache, InsertOutcome};
+use crate::store::ShardedStore;
+use crate::workload::{RequestKind, RequestStream};
+use omega_embed::{Embedding, Metric, TopK};
+use omega_hetmem::{
+    AccessOp, AccessPattern, AccessSummary, ClassCounters, DeviceKind, MemSystem, NodeId,
+    Placement, SimDuration, ThreadMem,
+};
+use omega_obs::{Recorder, Track};
+use std::time::Instant;
+
+/// Configuration of an [`EmbedServer`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Rows per cold shard (the fetch/cache granule).
+    pub rows_per_shard: usize,
+    /// Cold-tier placement of the sharded store.
+    pub cold: Placement,
+    /// NUMA node serving requests (hot cache lives in this node's DRAM).
+    pub hot_node: NodeId,
+    /// DRAM budget of the hot cache, in bytes.
+    pub cache_bytes: u64,
+    /// Requests coalesced per batch.
+    pub batch_size: usize,
+    /// Concurrent threads assumed by the bandwidth model.
+    pub model_threads: u32,
+    /// Frequency-based admission control (TinyLFU-style scan resistance).
+    pub admission: bool,
+    /// Similarity metric of top-k queries.
+    pub metric: Metric,
+}
+
+impl ServeConfig {
+    /// Defaults: 64-row shards cold on node-0 PM, hot cache in node-0 DRAM
+    /// with the given byte budget, 64-request batches, admission on.
+    pub fn new(cache_bytes: u64) -> ServeConfig {
+        ServeConfig {
+            rows_per_shard: 64,
+            cold: Placement::node(0, DeviceKind::Pm),
+            hot_node: 0,
+            cache_bytes,
+            batch_size: 64,
+            model_threads: 1,
+            admission: true,
+            metric: Metric::Dot,
+        }
+    }
+
+    pub fn rows_per_shard(mut self, rows: usize) -> Self {
+        self.rows_per_shard = rows;
+        self
+    }
+
+    pub fn cold(mut self, placement: Placement) -> Self {
+        self.cold = placement;
+        self
+    }
+
+    pub fn batch_size(mut self, size: usize) -> Self {
+        assert!(size > 0, "batch size must be positive");
+        self.batch_size = size;
+        self
+    }
+
+    pub fn admission(mut self, on: bool) -> Self {
+        self.admission = on;
+        self
+    }
+
+    pub fn metric(mut self, metric: Metric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    fn hot_placement(&self) -> Placement {
+        Placement::node(self.hot_node, DeviceKind::Dram)
+    }
+}
+
+/// Aggregate statistics of a serving run.
+#[derive(Debug, Clone, Default)]
+pub struct ServeStats {
+    pub requests: u64,
+    pub lookups: u64,
+    pub topks: u64,
+    pub batches: u64,
+    /// Requests whose shard was DRAM-resident when their batch arrived.
+    pub hits: u64,
+    /// Requests whose shard had to be fetched from the cold tier.
+    pub misses: u64,
+    /// Distinct shard fetches performed (a batch of misses to one shard
+    /// fetches it once).
+    pub fetches: u64,
+    pub evictions: u64,
+    pub admission_rejects: u64,
+    /// Bytes streamed out of the cold tier (fetches + uncached scans).
+    pub cold_read_bytes: u64,
+    /// Bytes read from DRAM (row serves + cached scans).
+    pub dram_read_bytes: u64,
+    /// Bytes staged into DRAM by fetches.
+    pub dram_write_bytes: u64,
+}
+
+impl ServeStats {
+    pub fn hit_rate(&self) -> f64 {
+        if self.hits + self.misses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / (self.hits + self.misses) as f64
+        }
+    }
+}
+
+/// Result of [`EmbedServer::run`]: stats, latency distributions on both
+/// clocks, and the run's memory-traffic summary.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    pub stats: ServeStats,
+    /// Total simulated time of the run.
+    pub total_sim: SimDuration,
+    /// Total wall time of the run.
+    pub total_wall_us: u64,
+    /// Per-request simulated latency, nanoseconds, in request order.
+    pub sim_latency_ns: Vec<u64>,
+    /// Per-request wall latency (its batch's wall time), microseconds.
+    pub wall_latency_us: Vec<u64>,
+    /// Memory traffic of the whole run.
+    pub traffic: AccessSummary,
+}
+
+impl ServeReport {
+    /// Simulated-latency percentile (q in 0..=1, nearest-rank).
+    pub fn sim_percentile_ns(&self, q: f64) -> u64 {
+        percentile(&self.sim_latency_ns, q)
+    }
+
+    /// Wall-latency percentile (q in 0..=1, nearest-rank).
+    pub fn wall_percentile_us(&self, q: f64) -> u64 {
+        percentile(&self.wall_latency_us, q)
+    }
+
+    /// Simulated throughput, requests per simulated second.
+    pub fn throughput_qps(&self) -> f64 {
+        let s = self.total_sim.as_secs_f64();
+        if s == 0.0 {
+            0.0
+        } else {
+            self.stats.requests as f64 / s
+        }
+    }
+}
+
+fn percentile(values: &[u64], q: f64) -> u64 {
+    if values.is_empty() {
+        return 0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let rank = (q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.max(1) - 1]
+}
+
+/// A tiered embedding server over one simulated machine.
+#[derive(Debug)]
+pub struct EmbedServer {
+    sys: MemSystem,
+    store: ShardedStore,
+    cache: HotCache,
+    cfg: ServeConfig,
+    rec: Recorder,
+    track: Track,
+    /// Simulated clock of the serving loop — maintained by the server so it
+    /// advances even when the recorder is disabled.
+    sim_now: SimDuration,
+    counters: ClassCounters,
+    stats: ServeStats,
+}
+
+impl EmbedServer {
+    /// Shard `emb` onto the cold tier and stand up an (initially empty)
+    /// hot cache. Fails if the cold device cannot hold the table.
+    pub fn new(
+        sys: &MemSystem,
+        emb: &Embedding,
+        cfg: ServeConfig,
+    ) -> omega_hetmem::Result<EmbedServer> {
+        let store = ShardedStore::build(sys, emb, cfg.rows_per_shard, cfg.cold)?;
+        let cache = HotCache::new(
+            store.num_shards(),
+            cfg.cache_bytes,
+            cfg.hot_placement(),
+            cfg.admission,
+        );
+        Ok(EmbedServer {
+            sys: sys.clone(),
+            store,
+            cache,
+            cfg,
+            rec: Recorder::disabled(),
+            track: Track::MAIN,
+            sim_now: SimDuration::ZERO,
+            counters: ClassCounters::default(),
+            stats: ServeStats::default(),
+        })
+    }
+
+    /// Instrument the server: spans `serve.batch` / `serve.fetch` /
+    /// `serve.lookup` / `serve.topk` land on `track`.
+    pub fn with_recorder(mut self, rec: &Recorder, track: Track) -> Self {
+        self.rec = rec.clone();
+        self.track = track;
+        self
+    }
+
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    pub fn store(&self) -> &ShardedStore {
+        &self.store
+    }
+
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// Total simulated time spent serving so far.
+    pub fn sim_now(&self) -> SimDuration {
+        self.sim_now
+    }
+
+    /// Memory-traffic summary of everything served so far.
+    pub fn traffic(&self) -> AccessSummary {
+        AccessSummary::from_counters(&self.counters)
+    }
+
+    fn ctx(&self) -> ThreadMem {
+        self.sys.thread_ctx_on(self.cfg.hot_node)
+    }
+
+    /// Settle a phase context: merge its counters into the run ledger and
+    /// convert them into simulated time.
+    fn settle(&mut self, ctx: &ThreadMem) -> SimDuration {
+        let dur = self
+            .sys
+            .model()
+            .thread_time(ctx.counters(), self.cfg.model_threads);
+        self.counters.merge(ctx.counters());
+        self.sim_now += dur;
+        dur
+    }
+
+    /// Bring `sid` DRAM-side: stream it from the cold tier and stage it into
+    /// DRAM, then offer it to the cache. Returns the fetch's simulated time.
+    fn fetch_shard(&mut self, sid: usize) -> SimDuration {
+        let span = self.rec.begin("serve.fetch", self.track);
+        self.rec.arg(&span, "shard", sid);
+        let mut ctx = self.ctx();
+        let bytes = self.store.shard_bytes(sid);
+        let rows = self.store.read_shard(sid, &mut ctx).to_vec();
+        ctx.charge_block(
+            self.cfg.hot_placement(),
+            AccessOp::Write,
+            AccessPattern::Seq,
+            bytes,
+            1,
+        );
+        self.stats.cold_read_bytes += bytes;
+        self.stats.dram_write_bytes += bytes;
+        self.stats.fetches += 1;
+        let dur = self.settle(&ctx);
+        match self.cache.insert(&self.sys, sid, rows) {
+            InsertOutcome::Admitted { evicted } => self.stats.evictions += evicted as u64,
+            InsertOutcome::RejectedByFrequency | InsertOutcome::RejectedByCapacity => {
+                self.stats.admission_rejects += 1
+            }
+        }
+        self.rec.end(span, Some(dur));
+        dur
+    }
+
+    /// Serve one row out of DRAM (cache slot if resident, else the staging
+    /// copy the fetch phase just made). Returns the row and the serve's
+    /// simulated time.
+    fn serve_row(&mut self, node: u32) -> (Vec<f32>, SimDuration) {
+        let sid = self.store.shard_of(node);
+        let off = self.store.row_offset(node);
+        let d = self.store.dim();
+        let row = match self.cache.slot(sid) {
+            Some(slot) => slot.raw()[off..off + d].to_vec(),
+            None => self.store.shard_raw(sid)[off..off + d].to_vec(),
+        };
+        let row_bytes = (d * std::mem::size_of::<f32>()) as u64;
+        let mut ctx = self.ctx();
+        ctx.charge_block(
+            self.cfg.hot_placement(),
+            AccessOp::Read,
+            AccessPattern::Rand,
+            row_bytes,
+            1,
+        );
+        ctx.add_cpu_ops(d as u64);
+        self.stats.dram_read_bytes += row_bytes;
+        let dur = self.settle(&ctx);
+        (row, dur)
+    }
+
+    /// Brute-force blocked top-k scan over every shard. Cached shards stream
+    /// from DRAM; uncached shards stream straight from the cold tier (scans
+    /// do not pollute the cache: no admission, no recency bump). Both paths
+    /// score the same f32 rows through the shared [`TopK`] selector, so the
+    /// result is bit-identical whichever tier served it.
+    fn scan_top_k(&mut self, query: &[f32], k: usize) -> (Vec<(u32, f32)>, SimDuration) {
+        assert_eq!(query.len(), self.store.dim(), "query dimension mismatch");
+        let span = self.rec.begin("serve.topk", self.track);
+        self.rec.arg(&span, "k", k);
+        let mut ctx = self.ctx();
+        let mut sel = TopK::new(k);
+        let d = self.store.dim();
+        for sid in 0..self.store.num_shards() {
+            let bytes = self.store.shard_bytes(sid);
+            let rows = if self.cache.contains(sid) {
+                ctx.charge_block(
+                    self.cfg.hot_placement(),
+                    AccessOp::Read,
+                    AccessPattern::Seq,
+                    bytes,
+                    1,
+                );
+                self.stats.dram_read_bytes += bytes;
+                self.cache.slot(sid).expect("resident").raw()
+            } else {
+                self.stats.cold_read_bytes += bytes;
+                self.store.read_shard(sid, &mut ctx)
+            };
+            let lo = self.store.shard_rows(sid).start;
+            for (i, row) in rows.chunks_exact(d).enumerate() {
+                sel.push(lo + i as u32, self.cfg.metric.score(query, row));
+            }
+            ctx.add_cpu_ops(2 * (rows.len() as u64));
+        }
+        let result = sel.into_sorted_vec();
+        let dur = self.settle(&ctx);
+        self.rec.end(span, Some(dur));
+        (result, dur)
+    }
+
+    /// Serve one coalesced batch of requests.
+    ///
+    /// Phase 1 classifies every request against the cache as it stood when
+    /// the batch arrived (hit/miss accounting) and fetches each distinct
+    /// missing shard once, in ascending shard order. Phase 2 answers
+    /// requests **in arrival order** — batching coalesces I/O but never
+    /// reorders responses. A request's simulated latency is the full fetch
+    /// phase plus every serve up to and including its own.
+    pub fn serve_batch(&mut self, requests: &[crate::workload::Request]) -> BatchResult {
+        let wall_start = Instant::now();
+        let batch_span = self.rec.begin("serve.batch", self.track);
+        self.rec.arg(&batch_span, "requests", requests.len());
+        self.stats.batches += 1;
+        self.stats.requests += requests.len() as u64;
+
+        // Phase 1: classify against pre-batch residency, then fetch each
+        // distinct missing shard once.
+        let mut missing: Vec<usize> = Vec::new();
+        for req in requests {
+            assert!(
+                self.store.contains(req.node),
+                "request for node {} out of range ({} nodes)",
+                req.node,
+                self.store.nodes()
+            );
+            let sid = self.store.shard_of(req.node);
+            if self.cache.contains(sid) {
+                self.stats.hits += 1;
+            } else {
+                self.stats.misses += 1;
+                if !missing.contains(&sid) {
+                    missing.push(sid);
+                }
+            }
+            self.cache.record_access(sid);
+        }
+        missing.sort_unstable();
+        let mut fetch_dur = SimDuration::ZERO;
+        for sid in missing {
+            fetch_dur += self.fetch_shard(sid);
+        }
+
+        // Phase 2: answer in arrival order. Point lookups accumulate into
+        // one `serve.lookup` leaf span per contiguous run; top-k scans get
+        // their own spans.
+        let mut responses = Vec::with_capacity(requests.len());
+        let mut latencies = Vec::with_capacity(requests.len());
+        let mut served = SimDuration::ZERO;
+        let mut lookup_acc = SimDuration::ZERO;
+        let flush_lookups = |rec: &Recorder, track: Track, acc: &mut SimDuration| {
+            if *acc > SimDuration::ZERO {
+                let span = rec.begin("serve.lookup", track);
+                rec.end(span, Some(*acc));
+                *acc = SimDuration::ZERO;
+            }
+        };
+        for req in requests {
+            match req.kind {
+                RequestKind::Get => {
+                    let (row, dur) = self.serve_row(req.node);
+                    self.stats.lookups += 1;
+                    lookup_acc += dur;
+                    served += dur;
+                    responses.push(Response::Vector(row));
+                }
+                RequestKind::TopK { k } => {
+                    // Resolving the query vector is itself a row serve;
+                    // fold it into the lookup span before the scan opens.
+                    let (query, row_dur) = self.serve_row(req.node);
+                    lookup_acc += row_dur;
+                    flush_lookups(&self.rec, self.track, &mut lookup_acc);
+                    let (neighbors, scan_dur) = self.scan_top_k(&query, k);
+                    self.stats.topks += 1;
+                    served += row_dur + scan_dur;
+                    responses.push(Response::Neighbors(neighbors));
+                }
+            }
+            latencies.push((fetch_dur + served).as_nanos());
+        }
+        flush_lookups(&self.rec, self.track, &mut lookup_acc);
+        self.rec.end(batch_span, None);
+
+        let wall_us = wall_start.elapsed().as_micros() as u64;
+        BatchResult {
+            responses,
+            sim_latency_ns: latencies,
+            wall_us,
+        }
+    }
+
+    /// Batched point lookup: the embedding vectors of `nodes`, in the exact
+    /// order requested.
+    pub fn get_vectors(&mut self, nodes: &[u32]) -> Vec<Vec<f32>> {
+        let requests: Vec<crate::workload::Request> = nodes
+            .iter()
+            .map(|&node| crate::workload::Request {
+                node,
+                kind: RequestKind::Get,
+            })
+            .collect();
+        self.serve_batch(&requests)
+            .responses
+            .into_iter()
+            .map(|r| match r {
+                Response::Vector(v) => v,
+                Response::Neighbors(_) => unreachable!("get batch"),
+            })
+            .collect()
+    }
+
+    /// One top-k query with an explicit query vector (no batching).
+    pub fn top_k(&mut self, query: &[f32], k: usize) -> Vec<(u32, f32)> {
+        let span = self.rec.begin("serve.batch", self.track);
+        self.rec.arg(&span, "requests", 1usize);
+        self.stats.batches += 1;
+        self.stats.requests += 1;
+        self.stats.topks += 1;
+        let (result, _) = self.scan_top_k(query, k);
+        self.rec.end(span, None);
+        result
+    }
+
+    /// Closed-loop run: draw `n` requests from `stream`, serve them in
+    /// batches of `config.batch_size`, and report latency distributions on
+    /// both clocks. Metric counters are published to the recorder with
+    /// deterministic (simulated-only) values.
+    pub fn run(&mut self, stream: &mut RequestStream, n: usize) -> ServeReport {
+        let wall_start = Instant::now();
+        let sim_start = self.sim_now;
+        let stats_start = self.stats.clone();
+        let mut sim_latency_ns = Vec::with_capacity(n);
+        let mut wall_latency_us = Vec::with_capacity(n);
+        let mut left = n;
+        while left > 0 {
+            let take = left.min(self.cfg.batch_size);
+            let requests = stream.take_requests(take);
+            let batch = self.serve_batch(&requests);
+            sim_latency_ns.extend(batch.sim_latency_ns);
+            wall_latency_us.extend(std::iter::repeat_n(batch.wall_us, take));
+            left -= take;
+        }
+
+        let stats = self.stats.clone();
+        self.rec.counter_set("serve.requests", stats.requests);
+        self.rec.counter_set("serve.cache.hit", stats.hits);
+        self.rec.counter_set("serve.cache.miss", stats.misses);
+        self.rec.counter_set("serve.cache.evict", stats.evictions);
+        self.rec.counter_set("serve.cache.fetch", stats.fetches);
+        self.rec
+            .counter_set("serve.cache.admission_reject", stats.admission_rejects);
+        self.rec
+            .counter_set("serve.cold.bytes", stats.cold_read_bytes);
+        self.rec.counter_set(
+            "serve.dram.bytes",
+            stats.dram_read_bytes + stats.dram_write_bytes,
+        );
+        self.rec.gauge_set("serve.cache.hit_rate", stats.hit_rate());
+        for &ns in &sim_latency_ns {
+            self.rec.observe("serve.latency_ns", ns as f64);
+        }
+
+        let mut run_stats = stats.clone();
+        run_stats.requests -= stats_start.requests;
+        run_stats.lookups -= stats_start.lookups;
+        run_stats.topks -= stats_start.topks;
+        run_stats.batches -= stats_start.batches;
+        run_stats.hits -= stats_start.hits;
+        run_stats.misses -= stats_start.misses;
+        run_stats.fetches -= stats_start.fetches;
+        run_stats.evictions -= stats_start.evictions;
+        run_stats.admission_rejects -= stats_start.admission_rejects;
+        run_stats.cold_read_bytes -= stats_start.cold_read_bytes;
+        run_stats.dram_read_bytes -= stats_start.dram_read_bytes;
+        run_stats.dram_write_bytes -= stats_start.dram_write_bytes;
+
+        ServeReport {
+            stats: run_stats,
+            total_sim: self.sim_now.saturating_sub(sim_start),
+            total_wall_us: wall_start.elapsed().as_micros() as u64,
+            sim_latency_ns,
+            wall_latency_us,
+            traffic: self.traffic(),
+        }
+    }
+}
+
+/// One response of a batch, in request order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    Vector(Vec<f32>),
+    Neighbors(Vec<(u32, f32)>),
+}
+
+/// Responses and per-request latencies of one batch.
+#[derive(Debug, Clone)]
+pub struct BatchResult {
+    pub responses: Vec<Response>,
+    /// Per-request simulated latency, in request order.
+    pub sim_latency_ns: Vec<u64>,
+    /// Wall time of the whole batch (every request in it shares it).
+    pub wall_us: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{Popularity, WorkloadConfig};
+    use omega_hetmem::Topology;
+
+    fn emb(nodes: u32, d: usize) -> Embedding {
+        let data: Vec<f32> = (0..nodes as usize * d)
+            .map(|i| (i as f32 * 0.37).sin())
+            .collect();
+        Embedding::from_row_major(nodes, d, data)
+    }
+
+    fn server(nodes: u32, d: usize, cache_shards: u64) -> EmbedServer {
+        let sys = MemSystem::new(Topology::paper_machine_scaled(8 << 20));
+        let cfg = ServeConfig::new(cache_shards * 16 * d as u64 * 4).rows_per_shard(16);
+        EmbedServer::new(&sys, &emb(nodes, d), cfg).unwrap()
+    }
+
+    #[test]
+    fn get_vectors_preserves_order_and_values() {
+        let e = emb(100, 8);
+        let mut srv = server(100, 8, 2);
+        let nodes = [7u32, 93, 7, 0, 55, 93];
+        let got = srv.get_vectors(&nodes);
+        assert_eq!(got.len(), nodes.len());
+        for (&v, row) in nodes.iter().zip(&got) {
+            assert_eq!(row.as_slice(), e.vector(v), "node {v}");
+        }
+    }
+
+    #[test]
+    fn repeat_batches_hit_the_cache() {
+        let mut srv = server(64, 4, 4); // whole table fits in cache
+        srv.get_vectors(&[1, 2, 3]);
+        assert_eq!(srv.stats().misses, 3);
+        assert_eq!(srv.stats().fetches, 1);
+        srv.get_vectors(&[1, 2, 3]);
+        assert_eq!(srv.stats().hits, 3);
+        assert_eq!(srv.stats().fetches, 1, "no refetch of a resident shard");
+    }
+
+    #[test]
+    fn lookup_latency_includes_fetch_and_queueing() {
+        let mut srv = server(64, 4, 4);
+        let batch = srv.serve_batch(&crate::workload::Request::gets(&[0, 16, 0]));
+        // Latencies are cumulative within the batch.
+        assert!(batch.sim_latency_ns[0] < batch.sim_latency_ns[1]);
+        assert!(batch.sim_latency_ns[1] < batch.sim_latency_ns[2]);
+        // First latency already covers both shard fetches.
+        assert!(batch.sim_latency_ns[0] > 0);
+    }
+
+    #[test]
+    fn top_k_matches_embedding_top_k() {
+        let e = emb(80, 6);
+        let mut srv = server(80, 6, 2);
+        let query = e.vector(11).to_vec();
+        let got = srv.top_k(&query, 5);
+        assert_eq!(got, e.top_k(&query, 5, Metric::Dot));
+    }
+
+    #[test]
+    fn run_reports_consistent_totals() {
+        let mut srv = server(128, 8, 2);
+        let mut stream = RequestStream::new(WorkloadConfig::lookups(
+            128,
+            Popularity::Zipf { s: 1.0 },
+            42,
+        ));
+        let report = srv.run(&mut stream, 500);
+        assert_eq!(report.stats.requests, 500);
+        assert_eq!(report.stats.hits + report.stats.misses, 500);
+        assert_eq!(report.sim_latency_ns.len(), 500);
+        assert_eq!(report.wall_latency_us.len(), 500);
+        assert!(report.total_sim.as_nanos() > 0);
+        assert!(report.sim_percentile_ns(0.99) >= report.sim_percentile_ns(0.50));
+        assert!(report.throughput_qps() > 0.0);
+        // Byte ledger vs. hetmem accounting (cold tier is PM here).
+        assert_eq!(report.traffic.pm_bytes, report.stats.cold_read_bytes);
+        assert_eq!(
+            report.traffic.dram_bytes,
+            report.stats.dram_read_bytes + report.stats.dram_write_bytes
+        );
+    }
+
+    #[test]
+    fn small_cache_evicts_or_rejects() {
+        let mut srv = server(256, 8, 1); // 1-shard cache, 16 shards
+        let mut stream = RequestStream::new(WorkloadConfig::lookups(256, Popularity::Uniform, 7));
+        let report = srv.run(&mut stream, 400);
+        assert!(
+            report.stats.evictions + report.stats.admission_rejects > 0,
+            "a 1-shard cache under uniform load must churn"
+        );
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 0.50), 50);
+        assert_eq!(percentile(&v, 0.95), 95);
+        assert_eq!(percentile(&v, 0.99), 99);
+        assert_eq!(percentile(&v, 1.0), 100);
+        assert_eq!(percentile(&v, 0.0), 1);
+        assert_eq!(percentile(&[], 0.5), 0);
+    }
+}

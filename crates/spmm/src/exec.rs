@@ -844,7 +844,8 @@ impl SpmmEngine {
             staging: staging_home,
             result: result_target,
         };
-        let slots: Mutex<Vec<Option<(Vec<f32>, KernelStats, ClassCounters)>>> =
+        type WorkerSlot = Option<(Vec<f32>, KernelStats, ClassCounters)>;
+        let slots: Mutex<Vec<WorkerSlot>> =
             Mutex::new((0..workloads.len()).map(|_| None).collect());
         let next = AtomicUsize::new(0);
         let parallelism = std::thread::available_parallelism()

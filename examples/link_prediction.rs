@@ -10,7 +10,7 @@
 
 use omega::{Omega, OmegaConfig};
 use omega_embed::eval::link_prediction_auc;
-use omega_embed::Embedding;
+use omega_embed::{Embedding, Metric};
 use omega_graph::{GraphBuilder, RmatConfig};
 use omega_walk::{pairs_from_walks, SgnsConfig, SgnsModel, WalkConfig, Walker};
 use rand::rngs::SmallRng;
@@ -105,5 +105,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  DeepWalk + SGNS {auc_deepwalk:.3}");
     println!("  (train-edge AUC for reference: {auc_train:.3})");
     assert!(auc_omega > 0.6, "OMeGa embedding should beat chance");
+
+    // Who-to-follow: rank candidate follows for the hub (RMAT puts the
+    // highest degrees on the lowest ids) by cosine top-k, skipping nodes it
+    // already links to.
+    let hub = 0u32;
+    let existing = train.row(hub).0;
+    let emb = &run.embedding;
+    let recs: Vec<(u32, f32)> = emb
+        .top_k(emb.vector(hub), 16, Metric::Cosine)
+        .into_iter()
+        .filter(|&(v, _)| v != hub && existing.binary_search(&v).is_err())
+        .take(5)
+        .collect();
+    println!("\nwho-to-follow for node {hub} (cosine top-k, non-neighbours):");
+    for (v, score) in &recs {
+        println!("  node {v:<6} score {score:.3}");
+    }
+    assert!(!recs.is_empty());
     Ok(())
 }
