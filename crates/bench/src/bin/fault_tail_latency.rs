@@ -1,0 +1,166 @@
+//! Fault tail latency — how injected transient faults and SSD timeout
+//! windows move the serving tail (`omega-serve` + `omega-faults`). Not a
+//! figure of the paper: it quantifies the robustness layer's retry/hedging
+//! cost on the same simulated machine and bandwidth ratios (§III-D).
+//!
+//! Sweeps:
+//! * (a) transient PM read-fault rate 0 → 5% with bounded retry + backoff;
+//! * (b) SSD cold tier under a timeout-window plan, hedged to the DRAM
+//!   replica, rate 0 → 5%.
+//!
+//! Every row reports the fault-resolution split (`injected = retried +
+//! hedges won + degraded`) alongside the latency percentiles, so the
+//! table doubles as a check of the accounting identity.
+//!
+//! Writes machine-readable rows to `results/fault_tail_latency.jsonl`.
+
+use omega_bench::{print_table, write_results_jsonl, DIM};
+use omega_embed::Embedding;
+use omega_faults::{install_plan, FaultPlanSpec};
+use omega_hetmem::{DeviceKind, MemSystem, Placement, Topology};
+use omega_linalg::gaussian_matrix;
+use omega_obs::export::json_line;
+use omega_serve::{EmbedServer, Popularity, RequestStream, ServeConfig, WorkloadConfig};
+use serde::Serialize;
+
+const NODES: u32 = 20_000;
+const ROWS_PER_SHARD: usize = 64;
+const CACHE_SHARDS: u64 = 16;
+const REQUESTS: usize = 10_000;
+const SEED: u64 = 42;
+const PLAN_SEED: u64 = 1729;
+/// Transient retry penalty: half a PM round trip of simulated time burned
+/// per failed attempt, before the exponential backoff on top.
+const PENALTY_NS: u64 = 2_000;
+/// SSD timeout window: an attempt that trips it burns a full device
+/// timeout before the hedge to the DRAM replica fires.
+const TIMEOUT_NS: u64 = 50_000;
+
+/// One serving measurement under a fault plan.
+#[derive(Serialize)]
+struct Row {
+    panel: String,
+    cold: String,
+    fault_rate: f64,
+    requests: u64,
+    injected: u64,
+    retried: u64,
+    hedges_won: u64,
+    degraded: u64,
+    hit_rate: f64,
+    throughput_qps: f64,
+    p50_ns: u64,
+    p95_ns: u64,
+    p99_ns: u64,
+    sim_total_ms: f64,
+}
+
+fn serve(cold: DeviceKind, rate: f64) -> Row {
+    let emb = Embedding::from_matrix(&gaussian_matrix(NODES as usize, DIM, SEED));
+    let shard_bytes = ROWS_PER_SHARD as u64 * DIM as u64 * 4;
+    let sys = MemSystem::new(Topology::paper_machine_scaled(
+        (2 * CACHE_SHARDS * shard_bytes).max(1 << 20),
+    ));
+    // Panel (a) stresses the retry path with transient PM faults; panel (b)
+    // stresses the hedge path with SSD timeouts. Rate 0 is the baseline: a
+    // zero-rate plan is observationally identical to no plan at all.
+    let spec = match cold {
+        DeviceKind::Ssd => {
+            FaultPlanSpec::new(PLAN_SEED).with_timeout(DeviceKind::Ssd, rate, TIMEOUT_NS)
+        }
+        _ => FaultPlanSpec::new(PLAN_SEED).with_transient(DeviceKind::Pm, rate, PENALTY_NS),
+    };
+    let sys = install_plan(&sys, spec);
+    let cfg = ServeConfig::new(CACHE_SHARDS * shard_bytes)
+        .rows_per_shard(ROWS_PER_SHARD)
+        .cold(Placement::node(0, cold));
+    let mut srv = EmbedServer::new(&sys, &emb, cfg).expect("cold tier holds the table");
+    let mut load = RequestStream::new(WorkloadConfig::lookups(
+        NODES,
+        Popularity::Zipf { s: 1.0 },
+        SEED,
+    ));
+    let report = srv.run(&mut load, REQUESTS);
+    let st = &report.stats;
+    assert_eq!(
+        st.faults_injected,
+        st.faults_retried + st.hedges_won + st.degraded,
+        "every injected fault must resolve exactly once"
+    );
+    Row {
+        panel: String::new(),
+        cold: format!("{cold:?}"),
+        fault_rate: rate,
+        requests: st.requests,
+        injected: st.faults_injected,
+        retried: st.faults_retried,
+        hedges_won: st.hedges_won,
+        degraded: st.degraded,
+        hit_rate: st.hit_rate(),
+        throughput_qps: report.throughput_qps(),
+        p50_ns: report.sim_percentile_ns(0.50),
+        p95_ns: report.sim_percentile_ns(0.95),
+        p99_ns: report.sim_percentile_ns(0.99),
+        sim_total_ms: report.total_sim.as_millis_f64(),
+    }
+}
+
+fn table_row(r: &Row) -> Vec<String> {
+    vec![
+        r.cold.clone(),
+        format!("{:.3}", r.fault_rate),
+        r.injected.to_string(),
+        format!("{}/{}/{}", r.retried, r.hedges_won, r.degraded),
+        format!("{:.0}", r.throughput_qps),
+        r.p50_ns.to_string(),
+        r.p95_ns.to_string(),
+        r.p99_ns.to_string(),
+    ]
+}
+
+const HEADER: [&str; 8] = [
+    "cold",
+    "rate",
+    "injected",
+    "rty/hdg/deg",
+    "qps",
+    "p50 ns",
+    "p95 ns",
+    "p99 ns",
+];
+
+const RATES: [f64; 5] = [0.0, 0.001, 0.01, 0.02, 0.05];
+
+fn main() {
+    let mut jsonl = String::new();
+
+    // (a) transient PM faults: retries with exponential backoff.
+    let mut rows = Vec::new();
+    for rate in RATES {
+        let mut r = serve(DeviceKind::Pm, rate);
+        r.panel = "a".to_string();
+        rows.push(table_row(&r));
+        jsonl.push_str(&json_line(&r));
+    }
+    print_table(
+        "Faults (a): transient PM read faults, retry + backoff, zipf-1.0",
+        &HEADER,
+        &rows,
+    );
+
+    // (b) SSD timeout windows: hedged reads to the DRAM replica.
+    let mut rows = Vec::new();
+    for rate in RATES {
+        let mut r = serve(DeviceKind::Ssd, rate);
+        r.panel = "b".to_string();
+        rows.push(table_row(&r));
+        jsonl.push_str(&json_line(&r));
+    }
+    print_table(
+        "Faults (b): SSD timeouts, hedged to DRAM replica, zipf-1.0",
+        &HEADER,
+        &rows,
+    );
+
+    write_results_jsonl("fault_tail_latency", &jsonl);
+}

@@ -11,7 +11,7 @@
 //!                   [--nodes 10000 --dim 64] [--seed 42]
 //!                   [--rows-per-shard 64] [--cache-shards 16] [--batch 64]
 //!                   [--cold pm|ssd] [--topk-fraction 0.0] [--k 10]
-//!                   [--no-admission]
+//!                   [--no-admission] [--fault-plan plan.txt]
 //!                   [--trace-out trace.json] [--metrics-out metrics.jsonl]
 //! ```
 //!
@@ -52,6 +52,7 @@ const USAGE: &str = "usage:
                      [--nodes N --dim D] [--seed S] [--rows-per-shard R]
                      [--cache-shards C] [--batch B] [--cold pm|ssd]
                      [--topk-fraction F] [--k K] [--no-admission]
+                     [--fault-plan <file>]
                      [--trace-out <file>] [--metrics-out <file>]";
 
 /// Parsed `--key value` / `--flag` arguments.
@@ -246,6 +247,24 @@ fn serve(opts: &Opts) -> Result<(), String> {
             .max(table_bytes.div_ceil(8))
             .max(1 << 16),
     ));
+
+    // Optional deterministic fault plan: same plan file + same seed means the
+    // same injected schedule and byte-identical metrics across runs.
+    let fault_plan = opts.values.get("fault-plan").cloned();
+    let sys = match &fault_plan {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let spec =
+                omega::faults::FaultPlanSpec::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!(
+                "installed fault plan {path} (seed {}, {} rules)",
+                spec.seed,
+                spec.rules.len()
+            );
+            omega::faults::install_plan(&sys, spec)
+        }
+        None => sys,
+    };
     let cfg = ServeConfig::new(cache_shards * shard_bytes)
         .rows_per_shard(rows_per_shard)
         .cold(Placement::node(0, cold_device))
@@ -287,6 +306,12 @@ fn serve(opts: &Opts) -> Result<(), String> {
         "traffic           {} cold B read, {} DRAM B read, {} DRAM B written",
         st.cold_read_bytes, st.dram_read_bytes, st.dram_write_bytes
     );
+    if fault_plan.is_some() {
+        println!(
+            "faults            {} injected = {} retried + {} hedges won + {} degraded",
+            st.faults_injected, st.faults_retried, st.hedges_won, st.degraded
+        );
+    }
     println!("simulated time    {}", report.total_sim);
     println!(
         "throughput        {:.0} req/s (simulated)",
@@ -463,6 +488,86 @@ mod tests {
             counter("serve.cache.hit") > counter("serve.cache.miss"),
             "Zipf(1.0) head must stay DRAM-resident"
         );
+    }
+
+    #[test]
+    fn serve_fault_plan_is_deterministic_and_zero_rate_is_identity() {
+        let dir = std::env::temp_dir().join("omega_cli_fault_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let plan = dir.join("plan.txt");
+        std::fs::write(
+            &plan,
+            "seed = 9\ntransient device=pm rate=0.05 penalty_us=5\n",
+        )
+        .unwrap();
+        let zero = dir.join("zero.txt");
+        std::fs::write(&zero, "seed = 9\n").unwrap();
+        let serve_args = |plan: Option<&std::path::Path>, out: &std::path::Path| {
+            let mut v = s(&[
+                "serve",
+                "--requests",
+                "1500",
+                "--zipf",
+                "1.0",
+                "--nodes",
+                "2000",
+                "--dim",
+                "8",
+                "--seed",
+                "7",
+                "--rows-per-shard",
+                "32",
+                "--cache-shards",
+                "8",
+                "--metrics-out",
+                out.to_str().unwrap(),
+            ]);
+            if let Some(p) = plan {
+                v.push("--fault-plan".into());
+                v.push(p.to_str().unwrap().into());
+            }
+            v
+        };
+
+        let m1 = dir.join("m1.jsonl");
+        let m2 = dir.join("m2.jsonl");
+        run(&serve_args(Some(&plan), &m1)).unwrap();
+        run(&serve_args(Some(&plan), &m2)).unwrap();
+        let a = std::fs::read(&m1).unwrap();
+        assert_eq!(
+            a,
+            std::fs::read(&m2).unwrap(),
+            "same plan + same seed, same bytes"
+        );
+        let rows = omega::obs::export::parse_metrics_jsonl(&String::from_utf8(a).unwrap()).unwrap();
+        let counter = |name: &str| {
+            rows.iter()
+                .find(|(k, n, _)| k == "counter" && n == name)
+                .map(|(_, _, v)| *v)
+                .unwrap_or_else(|| panic!("missing counter {name}"))
+        };
+        assert!(counter("fault.injected") > 0.0, "5% rate must fire");
+        assert_eq!(
+            counter("fault.injected"),
+            counter("fault.retried") + counter("fault.hedge.won") + counter("serve.degraded"),
+            "every injected fault resolves exactly once"
+        );
+
+        // A zero-rate plan must be byte-identical to no plan at all.
+        let mz = dir.join("mz.jsonl");
+        let mn = dir.join("mn.jsonl");
+        run(&serve_args(Some(&zero), &mz)).unwrap();
+        run(&serve_args(None, &mn)).unwrap();
+        assert_eq!(
+            std::fs::read(&mz).unwrap(),
+            std::fs::read(&mn).unwrap(),
+            "zero-rate plan is observationally free"
+        );
+
+        // Malformed plans are rejected with a pointer at the file.
+        let bad = dir.join("bad.txt");
+        std::fs::write(&bad, "transient device=floppy rate=0.1\n").unwrap();
+        assert!(run(&serve_args(Some(&bad), &mz)).is_err());
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub use system::Omega;
 
 // Re-export the building blocks a downstream user needs.
 pub use omega_embed::{EmbedError, Embedding};
+pub use omega_faults as faults;
 pub use omega_graph as graph;
 pub use omega_hetmem as hetmem;
 pub use omega_linalg as linalg;

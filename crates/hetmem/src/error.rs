@@ -31,6 +31,23 @@ pub enum HetMemError {
     },
     /// Requested device kind is not present on the node (e.g. SSD capacity 0).
     DeviceUnavailable { node: NodeId, device: DeviceKind },
+    /// A transient device failure injected by the active fault plan: the
+    /// access did not complete and may be retried. Carries the simulated
+    /// nanoseconds the failed attempt burned before the device gave up.
+    Transient {
+        node: NodeId,
+        device: DeviceKind,
+        penalty_ns: u64,
+    },
+    /// A device-level timeout injected by the active fault plan: the access
+    /// stalled for `timeout_ns` simulated nanoseconds and was abandoned.
+    /// Robust consumers hedge to a replica tier instead of retrying the
+    /// same device.
+    Timeout {
+        node: NodeId,
+        device: DeviceKind,
+        timeout_ns: u64,
+    },
 }
 
 impl std::fmt::Display for HetMemError {
@@ -63,6 +80,22 @@ impl std::fmt::Display for HetMemError {
             HetMemError::DeviceUnavailable { node, device } => {
                 write!(f, "device {device} unavailable on node {node}")
             }
+            HetMemError::Transient {
+                node,
+                device,
+                penalty_ns,
+            } => write!(
+                f,
+                "transient {device} failure on node {node} (attempt burned {penalty_ns} ns)"
+            ),
+            HetMemError::Timeout {
+                node,
+                device,
+                timeout_ns,
+            } => write!(
+                f,
+                "{device} access on node {node} timed out after {timeout_ns} ns"
+            ),
         }
     }
 }
@@ -74,6 +107,28 @@ impl HetMemError {
     /// outcome the experiment harness reports as `OOM` like the paper does.
     pub fn is_oom(&self) -> bool {
         matches!(self, HetMemError::OutOfMemory { .. })
+    }
+
+    /// Whether this error is an injected transient failure that a consumer
+    /// may retry against the same device.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, HetMemError::Transient { .. })
+    }
+
+    /// Whether this error is an injected timeout, where the robust response
+    /// is hedging to a replica rather than retrying.
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, HetMemError::Timeout { .. })
+    }
+
+    /// Simulated nanoseconds the failed access burned before surfacing
+    /// (zero for non-injected errors).
+    pub fn penalty_ns(&self) -> u64 {
+        match self {
+            HetMemError::Transient { penalty_ns, .. } => *penalty_ns,
+            HetMemError::Timeout { timeout_ns, .. } => *timeout_ns,
+            _ => 0,
+        }
     }
 }
 

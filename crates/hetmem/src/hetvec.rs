@@ -209,6 +209,20 @@ impl<T: Copy> HetVec<T> {
         &self.data[range]
     }
 
+    /// Fallible variant of [`HetVec::read_block`]: charges the attempt
+    /// exactly like the infallible reader (a failed read still moved bytes
+    /// and burned its injected penalty), then surfaces any fault the
+    /// active plan parked on the context. Without an installed plan this
+    /// never fails.
+    pub fn try_read_block(&self, range: Range<usize>, ctx: &mut ThreadMem) -> crate::Result<&[T]> {
+        let bytes = (range.len() * std::mem::size_of::<T>()) as u64;
+        ctx.charge_block(self.placement, AccessOp::Read, AccessPattern::Seq, bytes, 1);
+        match ctx.take_fault() {
+            Some(err) => Err(err),
+            None => Ok(&self.data[range]),
+        }
+    }
+
     /// Overwrite a contiguous range from `src`, charging one sequential
     /// streamed write.
     pub fn write_block(&mut self, start: usize, src: &[T], ctx: &mut ThreadMem) {

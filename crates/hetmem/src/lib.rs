@@ -58,6 +58,7 @@ pub mod bandwidth;
 pub mod clock;
 pub mod device;
 pub mod error;
+pub mod fault;
 pub mod governor;
 pub mod hetvec;
 pub mod net;
@@ -72,6 +73,7 @@ pub use bandwidth::{AccessClass, AccessOp, AccessPattern, BandwidthModel, Locali
 pub use clock::{SimDuration, SimInstant};
 pub use device::DeviceKind;
 pub use error::HetMemError;
+pub use fault::{FaultAccess, FaultHook, FaultVerdict};
 pub use governor::{MemGovernor, MemReservation, MemUsage};
 pub use hetvec::{HetSlice, HetVec, Placement};
 pub use net::{Cluster, NetworkModel};

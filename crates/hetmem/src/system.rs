@@ -1,6 +1,7 @@
 //! The assembled memory system: topology + governor + cost model.
 
 use crate::bandwidth::BandwidthModel;
+use crate::fault::FaultHook;
 use crate::governor::MemGovernor;
 use crate::hetvec::{HetVec, Placement};
 use crate::topology::{NodeId, Topology};
@@ -17,6 +18,10 @@ use std::sync::Arc;
 pub struct MemSystem {
     governor: Arc<MemGovernor>,
     model: Arc<BandwidthModel>,
+    /// Installed fault plan, attached to every context the system hands
+    /// out. `None` (the default) keeps the model bit-identical to a
+    /// fault-free build.
+    fault_hook: Option<Arc<dyn FaultHook>>,
 }
 
 impl MemSystem {
@@ -30,7 +35,21 @@ impl MemSystem {
         MemSystem {
             governor: Arc::new(MemGovernor::new(topology)),
             model: Arc::new(model),
+            fault_hook: None,
         }
+    }
+
+    /// Install a fault plan: every [`ThreadMem`] this system hands out will
+    /// consult it. The governor and model stay shared with the original.
+    pub fn with_fault_hook(mut self, hook: Arc<dyn FaultHook>) -> Self {
+        self.fault_hook = Some(hook);
+        self
+    }
+
+    /// The installed fault plan, if any.
+    #[inline]
+    pub fn fault_hook(&self) -> Option<&Arc<dyn FaultHook>> {
+        self.fault_hook.as_ref()
     }
 
     #[inline]
@@ -65,15 +84,22 @@ impl MemSystem {
     /// Memory context for simulated thread `t` under the default block
     /// binding (threads fill socket 0's cores first).
     pub fn thread_ctx(&self, thread: usize) -> ThreadMem {
-        ThreadMem::new(
+        self.attach_hook(ThreadMem::new(
             self.topology().node_of_thread(thread),
             self.topology().nodes(),
-        )
+        ))
     }
 
     /// Memory context pinned to a specific node (NaDP's CPU binding).
     pub fn thread_ctx_on(&self, node: NodeId) -> ThreadMem {
-        ThreadMem::new(node, self.topology().nodes())
+        self.attach_hook(ThreadMem::new(node, self.topology().nodes()))
+    }
+
+    fn attach_hook(&self, ctx: ThreadMem) -> ThreadMem {
+        match &self.fault_hook {
+            Some(hook) => ctx.with_hook(hook.clone()),
+            None => ctx,
+        }
     }
 }
 

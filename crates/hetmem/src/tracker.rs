@@ -2,10 +2,14 @@
 //! kernels charge their classified accesses to.
 
 use crate::bandwidth::{AccessClass, AccessOp, AccessPattern, Locality, NUM_CLASSES};
+use crate::clock::SimDuration;
 use crate::device::DeviceKind;
+use crate::error::HetMemError;
+use crate::fault::{FaultAccess, FaultHook, FaultVerdict};
 use crate::hetvec::Placement;
 use crate::topology::NodeId;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Accumulated traffic for one access class.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -126,6 +130,20 @@ pub struct ThreadMem {
     node: NodeId,
     sockets: usize,
     counters: ClassCounters,
+    /// Fault plan riding along with the context (see [`crate::fault`]).
+    /// `None` on the default path: one branch per charge, no other cost.
+    hook: Option<Arc<dyn FaultHook>>,
+    /// Consumer-set simulated clock handed to the hook (window rules).
+    sim_now: SimDuration,
+    /// Consult ordinal within this context: repeated identical accesses
+    /// draw independent verdicts.
+    fault_seq: u64,
+    /// Simulated time injected by `Delayed`/`Fail` verdicts; consumers add
+    /// it on top of the model cost when they settle the context.
+    penalty: SimDuration,
+    /// Error parked by the most recent `Fail` verdict, surfaced through
+    /// `try_*` accessors. First failure wins until taken.
+    pending: Option<HetMemError>,
 }
 
 impl ThreadMem {
@@ -136,6 +154,79 @@ impl ThreadMem {
             node,
             sockets: sockets.max(1),
             counters: ClassCounters::default(),
+            hook: None,
+            sim_now: SimDuration::ZERO,
+            fault_seq: 0,
+            penalty: SimDuration::ZERO,
+            pending: None,
+        }
+    }
+
+    /// Attach a fault hook (done by [`crate::MemSystem`] when a plan is
+    /// installed; kernels never call this directly).
+    pub fn with_hook(mut self, hook: Arc<dyn FaultHook>) -> Self {
+        self.hook = Some(hook);
+        self
+    }
+
+    /// Set the simulated clock the hook sees (consumers with a notion of
+    /// "now", like the serve loop, align it before charging).
+    pub fn set_sim_now(&mut self, now: SimDuration) {
+        self.sim_now = now;
+    }
+
+    /// Simulated time injected into this context by the active fault plan
+    /// (latency spikes, degradation windows, failed-attempt penalties).
+    /// Zero when no plan is installed.
+    #[inline]
+    pub fn injected_penalty(&self) -> SimDuration {
+        self.penalty
+    }
+
+    /// Take the error parked by the most recent failed access, if any.
+    /// Infallible accessors leave it parked (paying only the latency);
+    /// `try_*` readers consume it to surface the failure.
+    pub fn take_fault(&mut self) -> Option<HetMemError> {
+        self.pending.take()
+    }
+
+    /// Consult the installed hook (if any) about an access that was just
+    /// charged. One consult per public charge call, after the traffic is
+    /// booked — a failed attempt still moved bytes on the media.
+    #[inline]
+    fn consult(
+        &mut self,
+        device: DeviceKind,
+        node: Option<NodeId>,
+        op: AccessOp,
+        pattern: AccessPattern,
+        bytes: u64,
+        accesses: u64,
+    ) {
+        let Some(hook) = self.hook.clone() else {
+            return;
+        };
+        let access = FaultAccess {
+            device,
+            node,
+            op,
+            pattern,
+            bytes,
+            accesses,
+        };
+        let seq = self.fault_seq;
+        self.fault_seq += 1;
+        // The hook's "now" includes penalties already injected into this
+        // context, so window rules see time advance within a phase.
+        match hook.on_access(self.sim_now + self.penalty, seq, &access) {
+            FaultVerdict::Ok => {}
+            FaultVerdict::Delayed(d) => self.penalty += d,
+            FaultVerdict::Fail { error, penalty } => {
+                self.penalty += penalty;
+                if self.pending.is_none() {
+                    self.pending = Some(error);
+                }
+            }
         }
     }
 
@@ -215,6 +306,16 @@ impl ThreadMem {
                 }
             }
         }
+        if self.hook.is_some() {
+            self.consult(
+                placement.device(),
+                placement.home_node(),
+                op,
+                pattern,
+                bytes,
+                accesses,
+            );
+        }
     }
 
     /// Charge random accesses with an explicit count of *distinct media
@@ -261,6 +362,16 @@ impl ThreadMem {
                     accesses - accesses / n,
                 );
             }
+        }
+        if self.hook.is_some() {
+            self.consult(
+                placement.device(),
+                placement.home_node(),
+                op,
+                AccessPattern::Rand,
+                bytes,
+                accesses,
+            );
         }
     }
 

@@ -47,6 +47,11 @@ pub struct ServeConfig {
     pub admission: bool,
     /// Similarity metric of top-k queries.
     pub metric: Metric,
+    /// Bounded retries against the cold tier after an injected transient
+    /// failure, before falling back to the degraded replica path.
+    pub max_retries: u32,
+    /// Simulated backoff before the first retry; doubles per attempt.
+    pub retry_backoff_ns: u64,
 }
 
 impl ServeConfig {
@@ -62,6 +67,8 @@ impl ServeConfig {
             model_threads: 1,
             admission: true,
             metric: Metric::Dot,
+            max_retries: 3,
+            retry_backoff_ns: 2_000,
         }
     }
 
@@ -91,6 +98,16 @@ impl ServeConfig {
         self
     }
 
+    pub fn max_retries(mut self, retries: u32) -> Self {
+        self.max_retries = retries;
+        self
+    }
+
+    pub fn retry_backoff_ns(mut self, ns: u64) -> Self {
+        self.retry_backoff_ns = ns;
+        self
+    }
+
     fn hot_placement(&self) -> Placement {
         Placement::node(self.hot_node, DeviceKind::Dram)
     }
@@ -114,10 +131,19 @@ pub struct ServeStats {
     pub admission_rejects: u64,
     /// Bytes streamed out of the cold tier (fetches + uncached scans).
     pub cold_read_bytes: u64,
-    /// Bytes read from DRAM (row serves + cached scans).
+    /// Bytes read from DRAM (row serves + cached scans + replica reads).
     pub dram_read_bytes: u64,
     /// Bytes staged into DRAM by fetches.
     pub dram_write_bytes: u64,
+    /// Injected failures observed on the serving path. Every one resolves
+    /// as exactly one of `faults_retried`, `hedges_won` or `degraded`.
+    pub faults_injected: u64,
+    /// Failures answered by launching another cold-tier attempt.
+    pub faults_retried: u64,
+    /// Timeouts answered by a hedged read against the DRAM replica tier.
+    pub hedges_won: u64,
+    /// Failures past the retry budget, served degraded from the replica.
+    pub degraded: u64,
 }
 
 impl ServeStats {
@@ -254,29 +280,48 @@ impl EmbedServer {
     }
 
     fn ctx(&self) -> ThreadMem {
-        self.sys.thread_ctx_on(self.cfg.hot_node)
+        let mut ctx = self.sys.thread_ctx_on(self.cfg.hot_node);
+        // The installed fault plan (if any) keys window rules off the
+        // serving loop's simulated clock.
+        ctx.set_sim_now(self.sim_now);
+        ctx
     }
 
     /// Settle a phase context: merge its counters into the run ledger and
-    /// convert them into simulated time.
+    /// convert them into simulated time — model cost plus whatever the
+    /// active fault plan injected (spikes, degradation, failed attempts).
     fn settle(&mut self, ctx: &ThreadMem) -> SimDuration {
         let dur = self
             .sys
             .model()
-            .thread_time(ctx.counters(), self.cfg.model_threads);
+            .thread_time(ctx.counters(), self.cfg.model_threads)
+            + ctx.injected_penalty();
         self.counters.merge(ctx.counters());
         self.sim_now += dur;
         dur
     }
 
-    /// Bring `sid` DRAM-side: stream it from the cold tier and stage it into
-    /// DRAM, then offer it to the cache. Returns the fetch's simulated time.
-    fn fetch_shard(&mut self, sid: usize) -> SimDuration {
-        let span = self.rec.begin("serve.fetch", self.track);
+    /// Exponential backoff charged before retry number `attempt` (1-based).
+    fn backoff(&self, attempt: u32) -> SimDuration {
+        SimDuration::from_nanos(self.cfg.retry_backoff_ns << (attempt - 1).min(16))
+    }
+
+    /// Pull `sid`'s rows from the DRAM replica tier (the serving node keeps
+    /// a warm replica of the table) and stage them: the hedge target after
+    /// a cold-tier timeout and the degraded path once retries are spent.
+    /// Values are identical to the cold tier's, only the traffic differs.
+    fn replica_fetch(&mut self, sid: usize, span_name: &'static str) -> (Vec<f32>, SimDuration) {
+        let span = self.rec.begin(span_name, self.track);
         self.rec.arg(&span, "shard", sid);
-        let mut ctx = self.ctx();
         let bytes = self.store.shard_bytes(sid);
-        let rows = self.store.read_shard(sid, &mut ctx).to_vec();
+        let mut ctx = self.ctx();
+        ctx.charge_block(
+            self.cfg.hot_placement(),
+            AccessOp::Read,
+            AccessPattern::Seq,
+            bytes,
+            1,
+        );
         ctx.charge_block(
             self.cfg.hot_placement(),
             AccessOp::Write,
@@ -284,18 +329,92 @@ impl EmbedServer {
             bytes,
             1,
         );
-        self.stats.cold_read_bytes += bytes;
+        self.stats.dram_read_bytes += bytes;
         self.stats.dram_write_bytes += bytes;
-        self.stats.fetches += 1;
+        let rows = self.store.shard_raw(sid).to_vec();
         let dur = self.settle(&ctx);
+        self.rec.end(span, Some(dur));
+        (rows, dur)
+    }
+
+    /// Bring `sid` DRAM-side: stream it from the cold tier and stage it into
+    /// DRAM, then offer it to the cache. Returns the fetch's simulated time.
+    ///
+    /// Robust against the installed fault plan: a transient failure retries
+    /// (bounded, exponential simulated backoff), a timeout hedges straight
+    /// to the DRAM replica, and an exhausted retry budget degrades to the
+    /// replica — so the fetch always completes with identical row values.
+    fn fetch_shard(&mut self, sid: usize) -> SimDuration {
+        let bytes = self.store.shard_bytes(sid);
+        let mut total = SimDuration::ZERO;
+        let mut attempt: u32 = 0;
+        let rows: Vec<f32> = loop {
+            let span = self.rec.begin("serve.fetch", self.track);
+            self.rec.arg(&span, "shard", sid);
+            if attempt > 0 {
+                self.rec.arg(&span, "attempt", attempt);
+            }
+            let mut ctx = self.ctx();
+            match self.store.try_read_shard(sid, &mut ctx) {
+                Ok(rows) => {
+                    let rows = rows.to_vec();
+                    ctx.charge_block(
+                        self.cfg.hot_placement(),
+                        AccessOp::Write,
+                        AccessPattern::Seq,
+                        bytes,
+                        1,
+                    );
+                    self.stats.cold_read_bytes += bytes;
+                    self.stats.dram_write_bytes += bytes;
+                    let dur = self.settle(&ctx);
+                    self.rec.end(span, Some(dur));
+                    total += dur;
+                    break rows;
+                }
+                Err(err) => {
+                    // The doomed attempt still streamed out of the cold
+                    // tier and burned its injected penalty.
+                    self.stats.cold_read_bytes += bytes;
+                    self.stats.faults_injected += 1;
+                    let dur = self.settle(&ctx);
+                    self.rec.end(span, Some(dur));
+                    total += dur;
+                    if err.is_timeout() {
+                        // Don't retry a stalled device: hedge to the replica.
+                        self.stats.hedges_won += 1;
+                        let (rows, hedge_dur) = self.replica_fetch(sid, "serve.hedge");
+                        total += hedge_dur;
+                        break rows;
+                    }
+                    if attempt < self.cfg.max_retries {
+                        attempt += 1;
+                        self.stats.faults_retried += 1;
+                        let wait = self.backoff(attempt);
+                        let span = self.rec.begin("serve.retry", self.track);
+                        self.rec.arg(&span, "shard", sid);
+                        self.rec.arg(&span, "attempt", attempt);
+                        self.rec.end(span, Some(wait));
+                        self.sim_now += wait;
+                        total += wait;
+                        continue;
+                    }
+                    // Retry budget spent: serve degraded from the replica.
+                    self.stats.degraded += 1;
+                    let (rows, deg_dur) = self.replica_fetch(sid, "serve.degraded");
+                    total += deg_dur;
+                    break rows;
+                }
+            }
+        };
+        self.stats.fetches += 1;
         match self.cache.insert(&self.sys, sid, rows) {
             InsertOutcome::Admitted { evicted } => self.stats.evictions += evicted as u64,
             InsertOutcome::RejectedByFrequency | InsertOutcome::RejectedByCapacity => {
                 self.stats.admission_rejects += 1
             }
         }
-        self.rec.end(span, Some(dur));
-        dur
+        total
     }
 
     /// Serve one row out of DRAM (cache slot if resident, else the staging
@@ -336,9 +455,12 @@ impl EmbedServer {
         let mut ctx = self.ctx();
         let mut sel = TopK::new(k);
         let d = self.store.dim();
+        // Simulated backoff accumulated by in-scan retries (folded into the
+        // scan's span so the obs cursor keeps covering every nanosecond).
+        let mut extra = SimDuration::ZERO;
         for sid in 0..self.store.num_shards() {
             let bytes = self.store.shard_bytes(sid);
-            let rows = if self.cache.contains(sid) {
+            let rows: &[f32] = if self.cache.contains(sid) {
                 ctx.charge_block(
                     self.cfg.hot_placement(),
                     AccessOp::Read,
@@ -347,10 +469,50 @@ impl EmbedServer {
                     1,
                 );
                 self.stats.dram_read_bytes += bytes;
-                self.cache.slot(sid).expect("resident").raw()
+                match self.cache.slot(sid) {
+                    Some(slot) => slot.raw(),
+                    // Defensive (audited unwrap): residency changed between
+                    // the check and the read — serve the identical bytes
+                    // from the staging copy instead of panicking mid-query.
+                    None => self.store.shard_raw(sid),
+                }
             } else {
-                self.stats.cold_read_bytes += bytes;
-                self.store.read_shard(sid, &mut ctx)
+                // Robust cold read: bounded retries on transient failures,
+                // replica fallback on timeout or an exhausted budget.
+                let mut attempt: u32 = 0;
+                loop {
+                    match self.store.try_read_shard(sid, &mut ctx) {
+                        Ok(rows) => {
+                            self.stats.cold_read_bytes += bytes;
+                            break rows;
+                        }
+                        Err(err) => {
+                            self.stats.cold_read_bytes += bytes;
+                            self.stats.faults_injected += 1;
+                            if !err.is_timeout() && attempt < self.cfg.max_retries {
+                                attempt += 1;
+                                self.stats.faults_retried += 1;
+                                extra += self.backoff(attempt);
+                                continue;
+                            }
+                            if err.is_timeout() {
+                                self.stats.hedges_won += 1;
+                            } else {
+                                self.stats.degraded += 1;
+                            }
+                            // Hedged/degraded: stream the replica from DRAM.
+                            ctx.charge_block(
+                                self.cfg.hot_placement(),
+                                AccessOp::Read,
+                                AccessPattern::Seq,
+                                bytes,
+                                1,
+                            );
+                            self.stats.dram_read_bytes += bytes;
+                            break self.store.shard_raw(sid);
+                        }
+                    }
+                }
             };
             let lo = self.store.shard_rows(sid).start;
             for (i, row) in rows.chunks_exact(d).enumerate() {
@@ -359,7 +521,8 @@ impl EmbedServer {
             ctx.add_cpu_ops(2 * (rows.len() as u64));
         }
         let result = sel.into_sorted_vec();
-        let dur = self.settle(&ctx);
+        let dur = self.settle(&ctx) + extra;
+        self.sim_now += extra;
         self.rec.end(span, Some(dur));
         (result, dur)
     }
@@ -520,6 +683,15 @@ impl EmbedServer {
             "serve.dram.bytes",
             stats.dram_read_bytes + stats.dram_write_bytes,
         );
+        // Fault counters are published unconditionally (zeros included) so
+        // a zero-rate plan exports byte-identical metrics to no plan, and
+        // `fault.injected == fault.retried + fault.hedge.won +
+        // serve.degraded` holds by construction.
+        self.rec
+            .counter_set("fault.injected", stats.faults_injected);
+        self.rec.counter_set("fault.retried", stats.faults_retried);
+        self.rec.counter_set("fault.hedge.won", stats.hedges_won);
+        self.rec.counter_set("serve.degraded", stats.degraded);
         self.rec.gauge_set("serve.cache.hit_rate", stats.hit_rate());
         for &ns in &sim_latency_ns {
             self.rec.observe("serve.latency_ns", ns as f64);
@@ -538,6 +710,10 @@ impl EmbedServer {
         run_stats.cold_read_bytes -= stats_start.cold_read_bytes;
         run_stats.dram_read_bytes -= stats_start.dram_read_bytes;
         run_stats.dram_write_bytes -= stats_start.dram_write_bytes;
+        run_stats.faults_injected -= stats_start.faults_injected;
+        run_stats.faults_retried -= stats_start.faults_retried;
+        run_stats.hedges_won -= stats_start.hedges_won;
+        run_stats.degraded -= stats_start.degraded;
 
         ServeReport {
             stats: run_stats,

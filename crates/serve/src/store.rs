@@ -115,6 +115,15 @@ impl ShardedStore {
         shard.read_block(0..shard.len(), ctx)
     }
 
+    /// Fallible variant of [`ShardedStore::read_shard`]: charges the
+    /// attempt identically (a failed stream still moved its bytes), then
+    /// surfaces any fault the active plan injected. Never fails without an
+    /// installed fault plan.
+    pub fn try_read_shard(&self, sid: usize, ctx: &mut ThreadMem) -> omega_hetmem::Result<&[f32]> {
+        let shard = &self.shards[sid];
+        shard.try_read_block(0..shard.len(), ctx)
+    }
+
     /// Offset of `node`'s row within its shard's data.
     #[inline]
     pub fn row_offset(&self, node: u32) -> usize {

@@ -1,0 +1,123 @@
+//! Property-based tests of the hot-tier cache: across arbitrary interleaved
+//! admit/evict/access sequences the byte budget is never exceeded and the
+//! cache's own ledger always equals the sum of its resident shards.
+
+use omega_hetmem::{DeviceKind, MemSystem, Placement, Topology};
+use omega_serve::{HotCache, InsertOutcome};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+const NUM_SHARDS: usize = 16;
+
+/// One step of a cache workout: touch a shard's frequency/recency, or offer
+/// it for residency with some payload size.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Access { sid: usize },
+    Insert { sid: usize, floats: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..NUM_SHARDS).prop_map(|sid| Op::Access { sid }),
+        (0..NUM_SHARDS, 1usize..64).prop_map(|(sid, floats)| Op::Insert { sid, floats }),
+    ]
+}
+
+/// Replay `ops` against a cache with `capacity` bytes, checking the budget
+/// and ledger invariants after every single step.
+fn check_sequence(ops: &[Op], capacity: u64, admission: bool) -> Result<(), TestCaseError> {
+    let sys = MemSystem::new(Topology::paper_machine_scaled(1 << 20));
+    let hot = Placement::node(0, DeviceKind::Dram);
+    let mut cache = HotCache::new(NUM_SHARDS, capacity, hot, admission);
+
+    for (step, op) in ops.iter().enumerate() {
+        match *op {
+            Op::Access { sid } => cache.record_access(sid),
+            Op::Insert { sid, floats } => {
+                // `insert` requires non-residency; a resident shard would be
+                // a cache hit on the serving path, never a second insert.
+                if cache.contains(sid) {
+                    cache.record_access(sid);
+                    continue;
+                }
+                let outcome = cache.insert(&sys, sid, vec![sid as f32; floats]);
+                let bytes = floats as u64 * 4;
+                if bytes > capacity {
+                    prop_assert_eq!(
+                        outcome,
+                        InsertOutcome::RejectedByCapacity,
+                        "step {}: oversized shard must be rejected",
+                        step
+                    );
+                }
+                if outcome.admitted() {
+                    prop_assert!(cache.contains(sid), "step {step}: admitted but absent");
+                }
+            }
+        }
+
+        // The budget invariant: never a byte over capacity.
+        prop_assert!(
+            cache.used_bytes() <= cache.capacity_bytes(),
+            "step {}: used {} exceeds capacity {}",
+            step,
+            cache.used_bytes(),
+            cache.capacity_bytes()
+        );
+        // The ledger invariant: used_bytes is exactly the resident sum.
+        let resident_bytes: u64 = (0..NUM_SHARDS)
+            .filter_map(|sid| cache.slot(sid).map(|v| v.size_bytes()))
+            .sum();
+        let resident_count = (0..NUM_SHARDS).filter(|&sid| cache.contains(sid)).count();
+        prop_assert_eq!(cache.used_bytes(), resident_bytes, "step {}", step);
+        prop_assert_eq!(cache.resident(), resident_count, "step {}", step);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// LRU-only mode: arbitrary sequences never overrun the byte budget.
+    #[test]
+    fn lru_cache_never_exceeds_budget(
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+        capacity in 16u64..512,
+    ) {
+        check_sequence(&ops, capacity, false)?;
+    }
+
+    /// With TinyLFU admission on, the same invariants hold — frequency
+    /// rejections must leave the ledger untouched.
+    #[test]
+    fn admission_cache_never_exceeds_budget(
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+        capacity in 16u64..512,
+    ) {
+        check_sequence(&ops, capacity, true)?;
+    }
+
+    /// A zero-byte cache admits nothing, ever.
+    #[test]
+    fn zero_capacity_admits_nothing(
+        ops in proptest::collection::vec(op_strategy(), 1..100),
+    ) {
+        let sys = MemSystem::new(Topology::paper_machine_scaled(1 << 20));
+        let hot = Placement::node(0, DeviceKind::Dram);
+        let mut cache = HotCache::new(NUM_SHARDS, 0, hot, false);
+        for op in &ops {
+            match *op {
+                Op::Access { sid } => cache.record_access(sid),
+                Op::Insert { sid, floats } => {
+                    prop_assert_eq!(
+                        cache.insert(&sys, sid, vec![0.0; floats]),
+                        InsertOutcome::RejectedByCapacity
+                    );
+                }
+            }
+            prop_assert_eq!(cache.used_bytes(), 0);
+            prop_assert_eq!(cache.resident(), 0);
+        }
+    }
+}

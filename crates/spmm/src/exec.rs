@@ -232,6 +232,9 @@ pub struct SpmmRun {
     pub prefetch_hits: u64,
     pub prefetch_misses: u64,
     pub wasted_prefetches: u64,
+    /// Workload chunks that hit an injected fault and were re-run by the
+    /// executor's degraded mode (zero without an installed fault plan).
+    pub degraded_chunks: u64,
 }
 
 impl SpmmRun {
@@ -444,6 +447,7 @@ impl SpmmEngine {
         let mut total_hits = 0u64;
         let mut total_misses = 0u64;
         let mut total_wasted = 0u64;
+        let mut degraded_chunks = 0u64;
 
         for (gi, group) in groups.iter().enumerate() {
             if group.cols.is_empty() || group.threads.is_empty() {
@@ -550,7 +554,7 @@ impl SpmmEngine {
                     let mut ctx = self.ctx_for(group, group.threads[0]);
                     ctx.charge_block(dense_home, AccessOp::Read, AccessPattern::Seq, bytes, 1);
                     ctx.charge_block(staging_home, AccessOp::Write, AccessPattern::Seq, bytes, 1);
-                    let t = self.sys.model().stream_time(ctx.counters());
+                    let t = self.sys.model().stream_time(ctx.counters()) + ctx.injected_penalty();
                     merged.merge(ctx.counters());
                     t
                 } else {
@@ -573,9 +577,21 @@ impl SpmmEngine {
 
                 // Collect: write blocks into the result, merge accounting.
                 let mut batch_max = SimDuration::ZERO;
-                for (wi, (block, stats, counters)) in outputs.into_iter().enumerate() {
+                for (wi, (block, stats, counters, penalty, failed)) in
+                    outputs.into_iter().enumerate()
+                {
                     let w = &workloads[wi];
-                    let t = self.sys.model().thread_time(&counters, cfg.threads as u32);
+                    let mut t =
+                        self.sys.model().thread_time(&counters, cfg.threads as u32) + penalty;
+                    if failed {
+                        // Degraded mode: the chunk's output is recomputed
+                        // from scratch, paying the chunk's traffic and time
+                        // a second time. The numeric result is unaffected —
+                        // the kernel is deterministic.
+                        degraded_chunks += 1;
+                        merged.merge(&counters);
+                        t += t;
+                    }
                     batch_max = batch_max.max(t);
                     per_workload_time[wi] += t;
                     per_workload_stats[wi].dense_fetches += stats.dense_fetches;
@@ -604,7 +620,7 @@ impl SpmmEngine {
                     let mut ctx = self.ctx_for(group, group.threads[0]);
                     ctx.charge_block(staging_home, AccessOp::Read, AccessPattern::Seq, bytes, 1);
                     ctx.charge_block(dense_home, AccessOp::Write, AccessPattern::Seq, bytes, 1);
-                    let t = self.sys.model().stream_time(ctx.counters());
+                    let t = self.sys.model().stream_time(ctx.counters()) + ctx.injected_penalty();
                     merged.merge(ctx.counters());
                     t
                 } else {
@@ -726,6 +742,15 @@ impl SpmmEngine {
         if total_fetches > 0 {
             rec.gauge_set("wofp.hit_rate", total_hits as f64 / total_fetches as f64);
         }
+        // Degraded-mode accounting: each failed chunk was injected by the
+        // plan and resolved by a re-run, so it lands on both sides of the
+        // `fault.injected == … + serve.degraded` identity. Published only
+        // when faults actually fired, keeping fault-free metric exports
+        // byte-identical to builds without a plan.
+        if degraded_chunks > 0 {
+            rec.counter_add("fault.injected", degraded_chunks);
+            rec.counter_add("serve.degraded", degraded_chunks);
+        }
         self.lifetime.lock().merge(&merged);
 
         Ok(SpmmRun {
@@ -740,6 +765,7 @@ impl SpmmEngine {
             prefetch_hits: total_hits,
             prefetch_misses: total_misses,
             wasted_prefetches: total_wasted,
+            degraded_chunks,
         })
     }
 
@@ -835,7 +861,7 @@ impl SpmmEngine {
         prefetchers: &[Option<Prefetcher>],
         group: &Group,
         local_cols: Range<usize>,
-    ) -> Vec<(Vec<f32>, KernelStats, ClassCounters)> {
+    ) -> Vec<(Vec<f32>, KernelStats, ClassCounters, SimDuration, bool)> {
         let inputs = KernelInputs {
             csdb: a,
             sparse_parts,
@@ -844,7 +870,7 @@ impl SpmmEngine {
             staging: staging_home,
             result: result_target,
         };
-        type WorkerSlot = Option<(Vec<f32>, KernelStats, ClassCounters)>;
+        type WorkerSlot = Option<(Vec<f32>, KernelStats, ClassCounters, SimDuration, bool)>;
         let slots: Mutex<Vec<WorkerSlot>> =
             Mutex::new((0..workloads.len()).map(|_| None).collect());
         let next = AtomicUsize::new(0);
@@ -862,6 +888,12 @@ impl SpmmEngine {
                     }
                     let w = &workloads[wi];
                     let mut ctx = self.ctx_for(group, w.thread);
+                    // Salt the context clock so an installed fault plan
+                    // draws independently per (batch, workload) — decided
+                    // by data, never by OS thread scheduling.
+                    ctx.set_sim_now(SimDuration::from_nanos(
+                        ((local_cols.start as u64) << 20) | wi as u64,
+                    ));
                     let (block, stats) = run_workload(
                         &inputs,
                         w,
@@ -869,7 +901,9 @@ impl SpmmEngine {
                         prefetchers[wi].as_ref(),
                         &mut ctx,
                     );
-                    slots.lock()[wi] = Some((block, stats, ctx.take_counters()));
+                    let penalty = ctx.injected_penalty();
+                    let failed = ctx.take_fault().is_some();
+                    slots.lock()[wi] = Some((block, stats, ctx.take_counters(), penalty, failed));
                 });
             }
         });

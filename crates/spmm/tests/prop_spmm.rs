@@ -110,3 +110,110 @@ proptest! {
         prop_assert!(optimal_workload(w, h, h * 2.0, cols, 0.25) >= 1);
     }
 }
+
+/// Collect every row a set of workloads claims, in claimed order.
+fn claimed_rows(ws: &[omega_spmm::Workload]) -> Vec<u32> {
+    ws.iter().flat_map(|w| w.rows.iter()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every allocation scheme is a *partition*: each row of the matrix is
+    /// claimed by exactly one thread, and the per-thread nnz counts sum to
+    /// the matrix total — on arbitrary power-law graphs, any thread count.
+    #[test]
+    fn allocation_partitions_rows_exactly_once(
+        nodes in 16u32..400,
+        edge_factor in 2u64..10,
+        seed in 0u64..1_000,
+        threads in 1usize..33,
+    ) {
+        use omega_graph::{Csdb, RmatConfig};
+        use omega_spmm::AllocScheme;
+
+        let csr = RmatConfig::social(nodes, nodes as u64 * edge_factor, seed)
+            .generate_csr()
+            .unwrap();
+        let csdb = Csdb::from_csr(&csr).unwrap();
+        for scheme in [
+            AllocScheme::RoundRobin,
+            AllocScheme::WaTA,
+            AllocScheme::eata_default(),
+        ] {
+            let ws = scheme.allocate(&csdb, threads);
+            prop_assert_eq!(ws.len(), threads, "{}", scheme.label());
+            let mut rows = claimed_rows(&ws);
+            rows.sort_unstable();
+            let expect: Vec<u32> = (0..csdb.rows()).collect();
+            prop_assert_eq!(&rows, &expect, "{}: duplicated or dropped rows", scheme.label());
+            let nnz: u64 = ws.iter().map(|w| w.nnzs).sum();
+            prop_assert_eq!(nnz, csdb.nnz() as u64, "{}", scheme.label());
+        }
+    }
+
+    /// WaTA's nnz imbalance is bounded by its chunking granularity: no
+    /// thread can exceed the fair share by more than one hub row (plus the
+    /// integer-division slack of recomputed targets).
+    #[test]
+    fn wata_imbalance_is_bounded_by_a_hub_row(
+        nodes in 16u32..400,
+        edge_factor in 2u64..10,
+        seed in 0u64..1_000,
+        threads in 1usize..33,
+    ) {
+        use omega_graph::{Csdb, RmatConfig};
+        use omega_spmm::AllocScheme;
+
+        let csr = RmatConfig::social(nodes, nodes as u64 * edge_factor, seed)
+            .generate_csr()
+            .unwrap();
+        let csdb = Csdb::from_csr(&csr).unwrap();
+        let max_degree = (0..csdb.rows()).map(|r| csdb.degree(r) as u64).max().unwrap_or(0);
+        let ws = AllocScheme::WaTA.allocate(&csdb, threads);
+        let fair = csdb.nnz() as u64 / threads as u64;
+        for w in &ws {
+            prop_assert!(
+                w.nnzs <= fair + max_degree + threads as u64,
+                "thread {} holds {} nnz, fair share {} + hub {}",
+                w.thread, w.nnzs, fair, max_degree
+            );
+        }
+    }
+
+    /// EaTA never predicts a worse makespan than the balanced WaTA split it
+    /// perturbs: its heaviest entropy-priced workload is at most WaTA's
+    /// (this is the fixed point Algorithm 2 approximates, and the
+    /// implementation falls back to WaTA when perturbing does not help).
+    #[test]
+    fn eata_predicted_makespan_never_worse_than_wata(
+        nodes in 16u32..400,
+        edge_factor in 2u64..10,
+        seed in 0u64..1_000,
+        threads in 2usize..33,
+        beta in 0.05f64..0.9,
+    ) {
+        use omega_graph::{Csdb, RmatConfig};
+        use omega_graph::stats::normalized_entropy;
+        use omega_spmm::AllocScheme;
+
+        let csr = RmatConfig::social(nodes, nodes as u64 * edge_factor, seed)
+            .generate_csr()
+            .unwrap();
+        let csdb = Csdb::from_csr(&csr).unwrap();
+        let predicted_max = |ws: &[omega_spmm::Workload]| -> f64 {
+            ws.iter()
+                .map(|w| {
+                    let z = normalized_entropy(w.entropy, csdb.cols());
+                    w.nnzs as f64 * affine_cost_factor(z, beta)
+                })
+                .fold(0.0, f64::max)
+        };
+        let wata = predicted_max(&AllocScheme::WaTA.allocate(&csdb, threads));
+        let eata = predicted_max(&AllocScheme::EaTA { beta }.allocate(&csdb, threads));
+        prop_assert!(
+            eata <= wata * (1.0 + 1e-9),
+            "EaTA predicts {eata}, WaTA {wata}"
+        );
+    }
+}

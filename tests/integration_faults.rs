@@ -1,0 +1,404 @@
+//! Chaos suite for the deterministic fault-injection layer
+//! (`omega-faults`): under every fault plan the serving and SpMM paths must
+//! stay *value-correct* — responses in arrival order, bit-identical to a
+//! fault-free run — while retries stay bounded, the fault-resolution
+//! identity holds, and the whole injected schedule is a pure function of
+//! the plan seed (same seed ⇒ byte-identical metrics JSONL).
+//!
+//! The plan seed comes from `OMEGA_FAULT_SEED` when set (the CI chaos
+//! matrix sweeps it), so the same assertions run under several schedules.
+
+use omega_embed::{Embedding, Metric};
+use omega_faults::{install_plan, FaultPlanSpec};
+use omega_hetmem::{DeviceKind, MemSystem, Placement, Topology};
+use omega_obs::{Recorder, Track};
+use omega_serve::{
+    EmbedServer, Popularity, Request, RequestKind, RequestStream, Response, ServeConfig,
+    WorkloadConfig,
+};
+
+const DIM: usize = 8;
+
+/// Plan seed under test: the CI chaos matrix sweeps `OMEGA_FAULT_SEED`;
+/// locally the default applies. Every assertion here must hold for *any*
+/// seed — the seed only moves which accesses misbehave.
+fn plan_seed() -> u64 {
+    std::env::var("OMEGA_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1729)
+}
+
+fn embedding(nodes: u32, seed: u64) -> Embedding {
+    Embedding::from_matrix(&omega_linalg::gaussian_matrix(nodes as usize, DIM, seed))
+}
+
+fn system() -> MemSystem {
+    MemSystem::new(Topology::paper_machine_scaled(8 << 20))
+}
+
+fn config(cache_shards: u64) -> ServeConfig {
+    ServeConfig::new(cache_shards * 16 * DIM as u64 * 4).rows_per_shard(16)
+}
+
+/// The five chaos plans: transient PM faults, an SSD timeout window, a
+/// latency spike, a degraded socket, and everything at once. Returned with
+/// the cold device each plan targets.
+fn chaos_plans(seed: u64) -> Vec<(&'static str, FaultPlanSpec, DeviceKind)> {
+    vec![
+        (
+            "transient-pm",
+            FaultPlanSpec::new(seed).with_transient(DeviceKind::Pm, 0.5, 3_000),
+            DeviceKind::Pm,
+        ),
+        (
+            "ssd-timeout",
+            FaultPlanSpec::new(seed).with_timeout(DeviceKind::Ssd, 0.5, 40_000),
+            DeviceKind::Ssd,
+        ),
+        (
+            "pm-spike",
+            FaultPlanSpec::new(seed).with_spike(DeviceKind::Pm, 4.0, 0, u64::MAX),
+            DeviceKind::Pm,
+        ),
+        (
+            "socket-degrade",
+            FaultPlanSpec::new(seed).with_degrade(0, 2.0, 0),
+            DeviceKind::Pm,
+        ),
+        (
+            "combined",
+            FaultPlanSpec::new(seed)
+                .with_transient(DeviceKind::Pm, 0.3, 3_000)
+                .with_timeout(DeviceKind::Ssd, 0.3, 40_000)
+                .with_degrade(0, 1.5, 0),
+            DeviceKind::Pm,
+        ),
+    ]
+}
+
+/// A shard-crossing, duplicated request order with top-k queries mixed in —
+/// the batching stress shape from the serving suite.
+fn chaos_requests() -> Vec<Request> {
+    let mut requests = Request::gets(&[299, 0, 150, 0, 17, 299, 63, 202, 88, 241, 5, 190]);
+    requests.insert(
+        4,
+        Request {
+            node: 150,
+            kind: RequestKind::TopK { k: 5 },
+        },
+    );
+    requests.push(Request {
+        node: 63,
+        kind: RequestKind::TopK { k: 7 },
+    });
+    requests
+}
+
+/// Under every chaos plan, every response arrives in order and is
+/// bit-identical to the fault-free answer: retries, hedges, and replica
+/// fallbacks change *when*, never *what*.
+#[test]
+fn responses_under_every_plan_match_fault_free_values() {
+    let emb = embedding(300, 2);
+    let requests = chaos_requests();
+
+    for (name, spec, cold) in chaos_plans(plan_seed()) {
+        let sys = install_plan(&system(), spec);
+        let cfg = config(4).cold(Placement::node(0, cold));
+        let mut srv = EmbedServer::new(&sys, &emb, cfg).unwrap();
+
+        // Several batches so the high-rate plans fire with near certainty.
+        for round in 0..4 {
+            let batch = srv.serve_batch(&requests);
+            assert_eq!(batch.responses.len(), requests.len(), "plan {name}");
+            for (req, resp) in requests.iter().zip(&batch.responses) {
+                match (req.kind, resp) {
+                    (RequestKind::Get, Response::Vector(v)) => assert_eq!(
+                        v.as_slice(),
+                        emb.vector(req.node),
+                        "plan {name} round {round} node {}",
+                        req.node
+                    ),
+                    (RequestKind::TopK { k }, Response::Neighbors(n)) => assert_eq!(
+                        n,
+                        &emb.top_k(emb.vector(req.node), k, Metric::Dot),
+                        "plan {name} round {round} node {}",
+                        req.node
+                    ),
+                    (kind, resp) => panic!("plan {name}: kind mismatch {kind:?} vs {resp:?}"),
+                }
+            }
+        }
+
+        // The resolution identity: every observed failure resolved exactly
+        // once — retried, hedged to the replica, or degraded after the
+        // retry budget.
+        let st = srv.stats();
+        assert_eq!(
+            st.faults_injected,
+            st.faults_retried + st.hedges_won + st.degraded,
+            "plan {name}"
+        );
+        match name {
+            // 50% transient on a 4-shard cache: faults are near-certain,
+            // and transients never hedge (hedging is the timeout path).
+            "transient-pm" => {
+                assert!(st.faults_injected > 0, "plan {name} must fire");
+                assert_eq!(st.hedges_won, 0, "plan {name}");
+            }
+            // 50% SSD timeouts: every injected fault hedges immediately,
+            // nothing is retried against a device that timed out.
+            "ssd-timeout" => {
+                assert!(st.faults_injected > 0, "plan {name} must fire");
+                assert_eq!(st.faults_retried, 0, "plan {name}");
+                assert_eq!(st.degraded, 0, "plan {name}");
+                assert_eq!(st.hedges_won, st.faults_injected, "plan {name}");
+            }
+            // Spikes and degradation slow accesses down but never fail them.
+            "pm-spike" | "socket-degrade" => {
+                assert_eq!(st.faults_injected, 0, "plan {name} injects no failures");
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Latency-only plans (spike, degrade) cost simulated time without
+/// injecting a single failure: same values, same traffic, more nanoseconds.
+#[test]
+fn latency_plans_slow_the_clock_without_failures() {
+    let run_with = |spec: Option<FaultPlanSpec>| {
+        let emb = embedding(400, 3);
+        let sys = match spec {
+            Some(spec) => install_plan(&system(), spec),
+            None => system(),
+        };
+        let mut srv = EmbedServer::new(&sys, &emb, config(4)).unwrap();
+        let mut load =
+            RequestStream::new(WorkloadConfig::lookups(400, Popularity::Zipf { s: 1.0 }, 7));
+        let report = srv.run(&mut load, 1_000);
+        (report.total_sim, report.stats)
+    };
+
+    let (base, base_st) = run_with(None);
+    let seed = plan_seed();
+    for (name, spec) in [
+        (
+            "spike",
+            FaultPlanSpec::new(seed).with_spike(DeviceKind::Pm, 4.0, 0, u64::MAX),
+        ),
+        ("degrade", FaultPlanSpec::new(seed).with_degrade(0, 2.0, 0)),
+    ] {
+        let (slow, st) = run_with(Some(spec));
+        assert!(slow > base, "{name}: {slow} must exceed fault-free {base}");
+        assert_eq!(st.faults_injected, 0, "{name} injects no failures");
+        // The byte ledger is untouched: latency plans charge time, not
+        // traffic.
+        assert_eq!(st.cold_read_bytes, base_st.cold_read_bytes, "{name}");
+        assert_eq!(st.dram_write_bytes, base_st.dram_write_bytes, "{name}");
+        assert_eq!(st.hits, base_st.hits, "{name}");
+    }
+}
+
+/// A retry budget of zero means no retries ever: every transient fault goes
+/// straight to the degraded replica path, and the identity still balances.
+#[test]
+fn retry_budget_bounds_attempts() {
+    let emb = embedding(300, 4);
+    let sys = install_plan(
+        &system(),
+        FaultPlanSpec::new(plan_seed()).with_transient(DeviceKind::Pm, 0.5, 3_000),
+    );
+    let cfg = config(2).max_retries(0);
+    let mut srv = EmbedServer::new(&sys, &emb, cfg).unwrap();
+    let mut load = RequestStream::new(WorkloadConfig::lookups(
+        300,
+        Popularity::Zipf { s: 1.0 },
+        13,
+    ));
+    srv.run(&mut load, 1_000);
+    let st = srv.stats();
+    assert!(st.faults_injected > 0, "50% transients must fire");
+    assert_eq!(st.faults_retried, 0, "budget of zero forbids retries");
+    assert_eq!(st.faults_injected, st.hedges_won + st.degraded);
+
+    // With the default budget the same plan mostly resolves via retries,
+    // and retries can never exceed the injected count (each failure is
+    // counted once, resolved once).
+    let sys = install_plan(
+        &system(),
+        FaultPlanSpec::new(plan_seed()).with_transient(DeviceKind::Pm, 0.5, 3_000),
+    );
+    let mut srv = EmbedServer::new(&sys, &emb, config(2)).unwrap();
+    let mut load = RequestStream::new(WorkloadConfig::lookups(
+        300,
+        Popularity::Zipf { s: 1.0 },
+        13,
+    ));
+    srv.run(&mut load, 1_000);
+    let st = srv.stats();
+    assert!(st.faults_injected > 0);
+    assert!(st.faults_retried <= st.faults_injected);
+    assert!(st.faults_retried > 0, "default budget retries transients");
+    assert_eq!(
+        st.faults_injected,
+        st.faults_retried + st.hedges_won + st.degraded
+    );
+}
+
+/// The full fault schedule is a pure function of (plan seed, workload seed):
+/// same pair ⇒ byte-identical metrics JSONL; a different plan seed moves
+/// the schedule and the exported bytes.
+#[test]
+fn fault_schedule_and_metrics_are_deterministic_per_seed() {
+    let run_once = |fault_seed: u64| -> String {
+        let emb = embedding(300, 6);
+        let sys = install_plan(
+            &system(),
+            FaultPlanSpec::new(fault_seed)
+                .with_transient(DeviceKind::Pm, 0.3, 3_000)
+                .with_degrade(0, 1.5, 0),
+        );
+        let rec = Recorder::enabled();
+        let mut srv = EmbedServer::new(&sys, &emb, config(4))
+            .unwrap()
+            .with_recorder(&rec, Track::MAIN);
+        let mut load = RequestStream::new(
+            WorkloadConfig::lookups(300, Popularity::Zipf { s: 1.0 }, 42).with_topk(0.02, 5),
+        );
+        srv.run(&mut load, 1_500);
+        rec.metrics_jsonl()
+    };
+    let seed = plan_seed();
+    let a = run_once(seed);
+    let b = run_once(seed);
+    assert_eq!(a, b, "same plan seed must export identical metric bytes");
+    let c = run_once(seed ^ 0x9e37_79b9_7f4a_7c15);
+    assert_ne!(a, c, "a different plan seed must move the fault schedule");
+
+    // The exported counters obey the resolution identity too.
+    let rows = omega_obs::export::parse_metrics_jsonl(&a).unwrap();
+    let counter = |name: &str| {
+        rows.iter()
+            .find(|(k, n, _)| k == "counter" && n == name)
+            .map(|(_, _, v)| *v as u64)
+            .unwrap_or_else(|| panic!("missing counter {name}"))
+    };
+    assert!(counter("fault.injected") > 0, "30% transients must fire");
+    assert_eq!(
+        counter("fault.injected"),
+        counter("fault.retried") + counter("fault.hedge.won") + counter("serve.degraded"),
+    );
+}
+
+/// A zero-rate plan is observationally free: installing it must leave the
+/// metrics export byte-identical to running with no plan at all.
+#[test]
+fn zero_rate_plan_is_observationally_free() {
+    let run_once = |spec: Option<FaultPlanSpec>| -> String {
+        let emb = embedding(300, 6);
+        let sys = match spec {
+            Some(spec) => install_plan(&system(), spec),
+            None => system(),
+        };
+        let rec = Recorder::enabled();
+        let mut srv = EmbedServer::new(&sys, &emb, config(4))
+            .unwrap()
+            .with_recorder(&rec, Track::MAIN);
+        let mut load = RequestStream::new(
+            WorkloadConfig::lookups(300, Popularity::Zipf { s: 1.0 }, 42).with_topk(0.02, 5),
+        );
+        srv.run(&mut load, 1_500);
+        rec.metrics_jsonl()
+    };
+    let plain = run_once(None);
+    let zero = run_once(Some(FaultPlanSpec::new(plan_seed())));
+    assert_eq!(plain, zero, "a zero-rate plan must be a perfect no-op");
+}
+
+/// The dual-clock observability invariants survive chaos: root spans still
+/// cover the run, the track cursor still lands exactly on the total, and
+/// the robustness spans show up where the plan makes them fire.
+#[test]
+fn observability_invariants_hold_under_faults() {
+    let emb = embedding(500, 3);
+    let sys = install_plan(
+        &system(),
+        FaultPlanSpec::new(plan_seed()).with_transient(DeviceKind::Pm, 0.5, 3_000),
+    );
+    let rec = Recorder::enabled();
+    let track = Track::new(1, 0);
+    let mut srv = EmbedServer::new(&sys, &emb, config(8))
+        .unwrap()
+        .with_recorder(&rec, track);
+    let mut load = RequestStream::new(
+        WorkloadConfig::lookups(500, Popularity::Zipf { s: 1.0 }, 11).with_topk(0.02, 5),
+    );
+    let report = srv.run(&mut load, 1_000);
+    assert!(report.stats.faults_injected > 0, "50% transients must fire");
+
+    let spans = rec.spans();
+    let root_ns: u64 = spans
+        .iter()
+        .filter(|s| s.depth == 0)
+        .map(|s| s.sim_dur_ns)
+        .sum();
+    let total = report.total_sim.as_nanos();
+    assert!(
+        root_ns as f64 >= 0.95 * total as f64,
+        "root spans cover {root_ns} of {total} simulated ns under faults"
+    );
+    assert_eq!(rec.cursor(track).as_nanos(), total);
+    // Retried fetches leave their backoff spans on the timeline.
+    assert!(
+        spans.iter().any(|s| s.name == "serve.retry"),
+        "retries must be visible as spans"
+    );
+}
+
+/// SpMM under a fault plan: a failed worker chunk is re-run (degraded
+/// mode), the numeric result stays bit-identical to the fault-free run,
+/// and the degraded count is deterministic in the plan seed.
+#[test]
+fn spmm_degraded_mode_recomputes_exact_result() {
+    use omega_graph::{Csdb, RmatConfig};
+    use omega_spmm::{SpmmConfig, SpmmEngine};
+
+    let csr = RmatConfig::social(512, 4_000, 3).generate_csr().unwrap();
+    let a = Csdb::from_csr(&csr).unwrap();
+    let b = omega_linalg::gaussian_matrix(512, DIM, 1);
+
+    let clean = SpmmEngine::new(system(), SpmmConfig::omega(4))
+        .unwrap()
+        .spmm(&a, &b)
+        .unwrap();
+    assert_eq!(clean.degraded_chunks, 0, "no plan, no degradation");
+
+    let run_faulted = || {
+        let sys = install_plan(
+            &system(),
+            FaultPlanSpec::new(plan_seed()).with_transient(DeviceKind::Pm, 0.9, 3_000),
+        );
+        SpmmEngine::new(sys, SpmmConfig::omega(4))
+            .unwrap()
+            .spmm(&a, &b)
+            .unwrap()
+    };
+    let faulted = run_faulted();
+    assert!(
+        faulted.degraded_chunks > 0,
+        "90% transients must fail chunks"
+    );
+    assert_eq!(
+        faulted.result.data(),
+        clean.result.data(),
+        "degraded re-runs must not change a single value"
+    );
+    // A degraded chunk pays its work twice: the faulted run is slower.
+    assert!(faulted.makespan > clean.makespan);
+
+    let again = run_faulted();
+    assert_eq!(faulted.degraded_chunks, again.degraded_chunks);
+    assert_eq!(faulted.makespan, again.makespan);
+}

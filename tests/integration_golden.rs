@@ -1,0 +1,91 @@
+//! Golden-snapshot tests: the full metrics JSONL of a fixed-seed pipeline
+//! run and a fixed-seed serving run (fault-free and under a fault plan) are
+//! committed under `tests/golden/` and diffed byte-for-byte in CI.
+//!
+//! These freeze the *entire* observable surface — every counter, gauge,
+//! histogram bucket, and simulated-time total — so an accidental change to
+//! the cost model, the scheduler, the cache policy, or the fault schedule
+//! shows up as a diff, not as a silently shifted number.
+//!
+//! To bless an intentional change: `OMEGA_UPDATE_GOLDEN=1 cargo test -p
+//! omega --test integration_golden`, then review and commit the diff.
+
+use omega::faults::{install_plan, FaultPlanSpec};
+use omega::hetmem::{DeviceKind, MemSystem, Placement, Topology};
+use omega::obs::{Recorder, Track};
+use omega::serve::{EmbedServer, Popularity, RequestStream, ServeConfig, WorkloadConfig};
+use omega::{Omega, OmegaConfig};
+use omega_graph::RmatConfig;
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/golden")
+        .join(name)
+}
+
+/// Compare `got` against the committed snapshot, or rewrite the snapshot
+/// when `OMEGA_UPDATE_GOLDEN=1`.
+fn assert_golden(name: &str, got: &str) {
+    let path = golden_path(name);
+    if std::env::var("OMEGA_UPDATE_GOLDEN").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden {name} ({e}); bless with OMEGA_UPDATE_GOLDEN=1")
+    });
+    assert_eq!(
+        got, want,
+        "{name} drifted from the committed snapshot; if the change is \
+         intentional, bless it with OMEGA_UPDATE_GOLDEN=1 and commit the diff"
+    );
+}
+
+/// The training pipeline's metrics for one fixed-seed embed run.
+#[test]
+fn pipeline_metrics_match_golden() {
+    let csr = RmatConfig::social(512, 4_000, 3).generate_csr().unwrap();
+    let rec = Recorder::enabled();
+    let omega = Omega::new(OmegaConfig::default().with_dim(8).with_threads(4))
+        .unwrap()
+        .with_recorder(rec.clone());
+    omega.embed(&csr).unwrap();
+    assert_golden("pipeline_metrics.jsonl", &rec.metrics_jsonl());
+}
+
+fn serve_metrics(plan: Option<FaultPlanSpec>) -> String {
+    let emb = omega::Embedding::from_matrix(&omega::linalg::gaussian_matrix(2_000, 8, 42));
+    let sys = MemSystem::new(Topology::paper_machine_scaled(8 << 20));
+    let sys = match plan {
+        Some(spec) => install_plan(&sys, spec),
+        None => sys,
+    };
+    let cfg = ServeConfig::new(8 * 32 * 8 * 4)
+        .rows_per_shard(32)
+        .cold(Placement::node(0, DeviceKind::Pm));
+    let rec = Recorder::enabled();
+    let mut srv = EmbedServer::new(&sys, &emb, cfg)
+        .unwrap()
+        .with_recorder(&rec, Track::MAIN);
+    let mut load = RequestStream::new(
+        WorkloadConfig::lookups(2_000, Popularity::Zipf { s: 1.0 }, 7).with_topk(0.02, 5),
+    );
+    srv.run(&mut load, 2_000);
+    rec.metrics_jsonl()
+}
+
+/// The serving path's metrics for one fixed-seed run, no faults.
+#[test]
+fn serve_metrics_match_golden() {
+    assert_golden("serve_metrics.jsonl", &serve_metrics(None));
+}
+
+/// The same serving run under a fixed fault plan: freezes the injected
+/// schedule, the retry/hedge accounting, and their simulated-time cost.
+#[test]
+fn faulted_serve_metrics_match_golden() {
+    let spec = FaultPlanSpec::new(1729).with_transient(DeviceKind::Pm, 0.05, 3_000);
+    assert_golden("serve_metrics_faulted.jsonl", &serve_metrics(Some(spec)));
+}

@@ -250,20 +250,34 @@ pub mod test_runner {
     }
 
     /// Runner configuration; only `cases` is honoured by the stub.
+    ///
+    /// Like upstream proptest, the `PROPTEST_CASES` environment variable
+    /// pins the case count. The stub goes one step further and lets it
+    /// override `with_cases` too, so CI can fix every suite's runtime (and
+    /// seed-space coverage) from one place regardless of per-file defaults.
     #[derive(Debug, Clone)]
     pub struct ProptestConfig {
         pub cases: u32,
     }
 
+    /// `PROPTEST_CASES` as a case count, if set and parseable.
+    fn env_cases() -> Option<u32> {
+        std::env::var("PROPTEST_CASES").ok()?.parse().ok()
+    }
+
     impl ProptestConfig {
         pub fn with_cases(cases: u32) -> ProptestConfig {
-            ProptestConfig { cases }
+            ProptestConfig {
+                cases: env_cases().unwrap_or(cases),
+            }
         }
     }
 
     impl Default for ProptestConfig {
         fn default() -> ProptestConfig {
-            ProptestConfig { cases: 64 }
+            ProptestConfig {
+                cases: env_cases().unwrap_or(64),
+            }
         }
     }
 }
