@@ -112,6 +112,117 @@ fn write_jsonl_into(dir: &std::path::Path, name: &str, jsonl: &str) -> PathBuf {
     path
 }
 
+/// Nearest-rank percentile of unsorted wall-clock samples (`q` in 0..=1).
+pub fn percentile_u64(samples: &[u64], q: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Short git revision of the working tree, or `"unknown"` outside a repo.
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// One benchmark-gate measurement: a workload's wall-clock percentiles
+/// (machine-dependent), its simulated time and byte traffic (exact,
+/// machine-independent), and the revision it was taken at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GateRecord {
+    pub workload: String,
+    pub wall_ns_p50: u64,
+    pub wall_ns_p95: u64,
+    pub sim_ns: u64,
+    pub bytes: u64,
+    pub git_rev: String,
+}
+
+/// Serialise gate records as a JSON array, one object per line (the
+/// `BENCH_*.json` on-disk format). Hand-rolled: the workspace deliberately
+/// carries no JSON-serialisation dependency.
+pub fn gate_records_to_json(records: &[GateRecord]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"workload\": \"{}\", \"wall_ns_p50\": {}, \"wall_ns_p95\": {}, \
+             \"sim_ns\": {}, \"bytes\": {}, \"git_rev\": \"{}\"}}{}\n",
+            r.workload,
+            r.wall_ns_p50,
+            r.wall_ns_p95,
+            r.sim_ns,
+            r.bytes,
+            r.git_rev,
+            if i + 1 < records.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Parse the `BENCH_*.json` format back. Tolerant field-scanner rather
+/// than a general JSON parser: objects are split on braces and each known
+/// key extracted positionally; unknown keys are ignored.
+pub fn gate_records_from_json(s: &str) -> Vec<GateRecord> {
+    fn str_field(obj: &str, key: &str) -> Option<String> {
+        let at = obj.find(&format!("\"{key}\""))?;
+        let rest = &obj[at..];
+        let colon = rest.find(':')?;
+        let rest = rest[colon + 1..].trim_start();
+        let rest = rest.strip_prefix('"')?;
+        Some(rest[..rest.find('"')?].to_string())
+    }
+    fn u64_field(obj: &str, key: &str) -> Option<u64> {
+        let at = obj.find(&format!("\"{key}\""))?;
+        let rest = &obj[at..];
+        let colon = rest.find(':')?;
+        let digits: String = rest[colon + 1..]
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect();
+        digits.parse().ok()
+    }
+    let mut records = Vec::new();
+    let mut rest = s;
+    while let Some(open) = rest.find('{') {
+        let Some(close) = rest[open..].find('}') else {
+            break;
+        };
+        let obj = &rest[open..open + close + 1];
+        if let (Some(workload), Some(p50), Some(p95), Some(sim), Some(bytes)) = (
+            str_field(obj, "workload"),
+            u64_field(obj, "wall_ns_p50"),
+            u64_field(obj, "wall_ns_p95"),
+            u64_field(obj, "sim_ns"),
+            u64_field(obj, "bytes"),
+        ) {
+            records.push(GateRecord {
+                workload,
+                wall_ns_p50: p50,
+                wall_ns_p95: p95,
+                sim_ns: sim,
+                bytes,
+                git_rev: str_field(obj, "git_rev").unwrap_or_default(),
+            });
+        }
+        rest = &rest[open + close + 1..];
+    }
+    records
+}
+
 /// Geometric mean of speedups, ignoring non-finite entries.
 pub fn geomean(ratios: &[f64]) -> f64 {
     let finite: Vec<f64> = ratios
@@ -164,6 +275,56 @@ mod tests {
         let path = write_jsonl_into(&dir, "fig_test", "{\"a\":1}\n");
         assert_eq!(path, dir.join("fig_test.jsonl"));
         assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"a\":1}\n");
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let samples = [50, 10, 40, 30, 20];
+        assert_eq!(percentile_u64(&samples, 0.5), 30);
+        assert_eq!(percentile_u64(&samples, 0.95), 50);
+        assert_eq!(percentile_u64(&samples, 0.0), 10);
+        assert_eq!(percentile_u64(&[], 0.5), 0);
+        assert_eq!(percentile_u64(&[7], 0.5), 7);
+    }
+
+    #[test]
+    fn gate_records_round_trip() {
+        let records = vec![
+            GateRecord {
+                workload: "serving_seq".into(),
+                wall_ns_p50: 1_234_567,
+                wall_ns_p95: 2_000_000,
+                sim_ns: 42,
+                bytes: 99,
+                git_rev: "abc1234".into(),
+            },
+            GateRecord {
+                workload: "spmm".into(),
+                wall_ns_p50: 5,
+                wall_ns_p95: 6,
+                sim_ns: 7,
+                bytes: 8,
+                git_rev: "unknown".into(),
+            },
+        ];
+        let json = gate_records_to_json(&records);
+        assert!(json.starts_with("[\n"));
+        assert!(json.contains(r#""workload": "serving_seq""#));
+        assert_eq!(gate_records_from_json(&json), records);
+        // Tolerates reformatting and unknown keys.
+        let loose = json
+            .replace(": ", ":")
+            .replace(r#""sim_ns":7"#, r#""extra":"x", "sim_ns": 7"#);
+        assert_eq!(gate_records_from_json(&loose), records);
+        assert!(gate_records_from_json("[]").is_empty());
+        assert!(gate_records_from_json("not json").is_empty());
+    }
+
+    #[test]
+    fn git_rev_is_short_or_unknown() {
+        let rev = git_rev();
+        assert!(!rev.is_empty());
+        assert!(rev == "unknown" || rev.chars().all(|c| c.is_ascii_alphanumeric()));
     }
 
     #[test]

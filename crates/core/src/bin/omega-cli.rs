@@ -8,7 +8,7 @@
 //! omega-cli generate --nodes 10000 --edges 200000 --seed 7 --output g.txt
 //! omega-cli stats   --input graph.txt
 //! omega-cli serve   --requests 10000 --zipf 1.0 [--input emb.txt]
-//!                   [--nodes 10000 --dim 64] [--seed 42]
+//!                   [--nodes 10000 --dim 64] [--seed 42] [--threads 1]
 //!                   [--rows-per-shard 64] [--cache-shards 16] [--batch 64]
 //!                   [--cold pm|ssd] [--topk-fraction 0.0] [--k 10]
 //!                   [--no-admission] [--fault-plan plan.txt]
@@ -49,7 +49,8 @@ const USAGE: &str = "usage:
   omega-cli generate --nodes N --edges M [--seed S] --output <file>
   omega-cli stats    --input <edge-list>
   omega-cli serve    --requests N [--zipf S | --uniform] [--input <emb>]
-                     [--nodes N --dim D] [--seed S] [--rows-per-shard R]
+                     [--nodes N --dim D] [--seed S] [--threads T]
+                     [--rows-per-shard R]
                      [--cache-shards C] [--batch B] [--cold pm|ssd]
                      [--topk-fraction F] [--k K] [--no-admission]
                      [--fault-plan <file>]
@@ -206,6 +207,9 @@ fn serve(opts: &Opts) -> Result<(), String> {
     let rows_per_shard: usize = opts.get_or("rows-per-shard", 64)?;
     let cache_shards: u64 = opts.get_or("cache-shards", 16)?;
     let batch: usize = opts.get_or("batch", 64)?;
+    // Worker-pool width for per-shard batch work: a wall-clock knob only —
+    // simulated latencies and metrics are identical at every value.
+    let threads: usize = opts.get_or("threads", 1)?;
     let topk_fraction: f64 = opts.get_or("topk-fraction", 0.0)?;
     let k: usize = opts.get_or("k", 10)?;
     let popularity = if opts.flag("uniform") {
@@ -269,6 +273,7 @@ fn serve(opts: &Opts) -> Result<(), String> {
         .rows_per_shard(rows_per_shard)
         .cold(Placement::node(0, cold_device))
         .batch_size(batch)
+        .threads(threads)
         .admission(!opts.flag("no-admission"));
 
     let trace_out = opts.values.get("trace-out").cloned();

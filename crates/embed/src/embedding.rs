@@ -2,11 +2,14 @@
 //! text serialisation (the word2vec-style format graph-embedding tools
 //! exchange).
 
-use omega_linalg::ops::cosine;
-use omega_linalg::DenseMatrix;
+use omega_linalg::{kernels, DenseMatrix};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// Rows scored per block by [`Embedding::top_k`]: large enough to amortise
+/// the selector, small enough that the score scratch stays cache-resident.
+const TOPK_BLOCK_ROWS: usize = 256;
 
 /// Similarity metric used to score a query vector against node vectors.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -18,12 +21,26 @@ pub enum Metric {
 }
 
 impl Metric {
-    /// Score `candidate` against `query`.
+    /// Score `candidate` against `query` through the shared lane-unrolled
+    /// kernels, so a single-row score is bit-identical to the same row's
+    /// entry in [`Metric::scores_into`].
     #[inline]
     pub fn score(self, query: &[f32], candidate: &[f32]) -> f32 {
         match self {
-            Metric::Dot => omega_linalg::ops::dot(query, candidate),
-            Metric::Cosine => cosine(query, candidate),
+            Metric::Dot => kernels::dot(query, candidate),
+            Metric::Cosine => kernels::cosine(query, candidate),
+        }
+    }
+
+    /// Score `query` against every `d`-wide row of a contiguous row-major
+    /// block, writing into the reusable `out` scratch (cleared first). The
+    /// blocked form of [`Metric::score`]: entry `i` is bit-identical to
+    /// `self.score(query, &rows[i*d..(i+1)*d])`.
+    #[inline]
+    pub fn scores_into(self, query: &[f32], rows: &[f32], d: usize, out: &mut Vec<f32>) {
+        match self {
+            Metric::Dot => kernels::dot_scores_into(query, rows, d, out),
+            Metric::Cosine => kernels::cosine_scores_into(query, rows, d, out),
         }
     }
 
@@ -105,6 +122,17 @@ impl TopK {
         self.heap.is_empty()
     }
 
+    /// Absorb another selector's survivors (parallel-scan merge). Because
+    /// the candidate order is total and strict — higher score first, equal
+    /// scores by ascending node id — the global top-k *set* is unique, so
+    /// merging per-shard partial selections in any order yields the same
+    /// final selection as one sequential scan.
+    pub fn merge(&mut self, other: TopK) {
+        for Reverse(s) in other.heap {
+            self.push(s.node, s.score);
+        }
+    }
+
     /// The kept candidates, best first (score descending, ties by ascending
     /// node id).
     pub fn into_sorted_vec(self) -> Vec<(u32, f32)> {
@@ -179,24 +207,41 @@ impl Embedding {
 
     /// Dot-product score between two nodes (the link-prediction score).
     pub fn dot(&self, u: u32, v: u32) -> f32 {
-        omega_linalg::ops::dot(self.vector(u), self.vector(v))
+        kernels::dot(self.vector(u), self.vector(v))
     }
 
     /// Cosine similarity between two nodes.
     pub fn cosine(&self, u: u32, v: u32) -> f32 {
-        cosine(self.vector(u), self.vector(v))
+        kernels::cosine(self.vector(u), self.vector(v))
     }
 
-    /// The `k` best-scoring nodes for an arbitrary query vector, by partial
-    /// selection (a bounded heap — no full sort of all `nodes` scores).
+    /// The `k` best-scoring nodes for an arbitrary query vector, by blocked
+    /// partial selection: rows are scored block-by-block through the shared
+    /// lane-unrolled kernels into one reused scratch buffer, then offered to
+    /// a bounded heap — no full sort of all `nodes` scores.
     ///
-    /// Results are score-descending; equal scores order by ascending node id,
-    /// so the output is fully deterministic. `query` must have length `d`.
+    /// Results are score-descending; equal scores order by **ascending node
+    /// id**, pinned across block boundaries (a tie between the last row of
+    /// one block and the first row of the next resolves exactly as it would
+    /// in a single flat scan), so the output is fully deterministic. `query`
+    /// must have length `d`.
     pub fn top_k(&self, query: &[f32], k: usize, metric: Metric) -> Vec<(u32, f32)> {
         assert_eq!(query.len(), self.d, "query dimension mismatch");
         let mut sel = TopK::new(k);
-        for v in 0..self.nodes {
-            sel.push(v, metric.score(query, self.vector(v)));
+        if self.d == 0 {
+            // Degenerate width: every score is the empty dot product.
+            for v in 0..self.nodes {
+                sel.push(v, 0.0);
+            }
+            return sel.into_sorted_vec();
+        }
+        let mut scores = Vec::with_capacity(TOPK_BLOCK_ROWS);
+        for (blk, rows) in self.data.chunks(TOPK_BLOCK_ROWS * self.d).enumerate() {
+            metric.scores_into(query, rows, self.d, &mut scores);
+            let lo = (blk * TOPK_BLOCK_ROWS) as u32;
+            for (i, &score) in scores.iter().enumerate() {
+                sel.push(lo + i as u32, score);
+            }
         }
         sel.into_sorted_vec()
     }
@@ -337,6 +382,78 @@ mod tests {
         // k larger than the tie group keeps ids sorted within the tie.
         let top3 = e.top_k(&[1.0, 0.0], 3, Metric::Dot);
         assert_eq!(top3, vec![(0, 1.0), (1, 1.0), (3, 1.0)]);
+    }
+
+    #[test]
+    fn top_k_ties_break_by_ascending_id_across_blocks() {
+        // Three identical rows straddle the 256-row block boundary: the last
+        // row of block 0 (255) and the first two of block 1 (256, 257). The
+        // tie must resolve index-ascending exactly as in one flat scan.
+        let d = 3;
+        let n = 300u32;
+        let mut data = vec![0f32; n as usize * d];
+        for v in [255usize, 256, 257] {
+            data[v * d] = 1.0;
+        }
+        let e = Embedding::from_row_major(n, d, data);
+        let top = e.top_k(&[1.0, 0.0, 0.0], 2, Metric::Dot);
+        assert_eq!(top, vec![(255, 1.0), (256, 1.0)]);
+        let top3 = e.top_k(&[1.0, 0.0, 0.0], 3, Metric::Dot);
+        assert_eq!(top3, vec![(255, 1.0), (256, 1.0), (257, 1.0)]);
+        // k ≥ n: the full ranking stays deterministic, ties id-ascending.
+        let all = e.top_k(&[1.0, 0.0, 0.0], n as usize + 5, Metric::Dot);
+        assert_eq!(all.len(), n as usize);
+        assert_eq!(&all[..3], &[(255, 1.0), (256, 1.0), (257, 1.0)]);
+        assert_eq!(all[3], (0, 0.0));
+    }
+
+    #[test]
+    fn top_k_blocked_matches_flat_selection() {
+        // > one block of varied rows: blocked scan == flat per-row scoring.
+        let d = 5;
+        let n = 600u32;
+        let data: Vec<f32> = (0..n as usize * d)
+            .map(|i| ((i * 37 % 101) as f32 - 50.0) * 0.11)
+            .collect();
+        let e = Embedding::from_row_major(n, d, data);
+        let q: Vec<f32> = (0..d).map(|i| (i as f32) - 1.5).collect();
+        for metric in [Metric::Dot, Metric::Cosine] {
+            let got = e.top_k(&q, 17, metric);
+            let mut sel = TopK::new(17);
+            for v in 0..n {
+                sel.push(v, metric.score(&q, e.vector(v)));
+            }
+            assert_eq!(got, sel.into_sorted_vec(), "metric {}", metric.label());
+        }
+    }
+
+    #[test]
+    fn top_k_merge_matches_single_scan() {
+        // Partial selections over disjoint halves, merged in either order,
+        // equal one selection over the whole range — including ties.
+        let scores = |v: u32| ((v * 13 % 7) as f32) * 0.5;
+        let mut whole = TopK::new(5);
+        for v in 0..40 {
+            whole.push(v, scores(v));
+        }
+        for swap in [false, true] {
+            let mut lo = TopK::new(5);
+            let mut hi = TopK::new(5);
+            for v in 0..20 {
+                lo.push(v, scores(v));
+            }
+            for v in 20..40 {
+                hi.push(v, scores(v));
+            }
+            let merged = if swap {
+                hi.merge(lo);
+                hi
+            } else {
+                lo.merge(hi);
+                lo
+            };
+            assert_eq!(merged.into_sorted_vec(), whole.clone().into_sorted_vec());
+        }
     }
 
     #[test]

@@ -335,11 +335,7 @@ impl Csdb {
         let mut y = vec![0f32; self.rows as usize];
         for v in 0..self.rows {
             let (cols, vals) = self.row(v);
-            y[v as usize] = cols
-                .iter()
-                .zip(vals)
-                .map(|(&c, &w)| w * x[c as usize])
-                .sum();
+            y[v as usize] = omega_linalg::kernels::sparse_dot(cols, vals, x);
         }
         Ok(y)
     }

@@ -269,11 +269,7 @@ impl Csr {
         let mut y = vec![0f32; self.rows as usize];
         for r in 0..self.rows {
             let (cols, vals) = self.row(r);
-            let mut acc = 0.0;
-            for (&c, &v) in cols.iter().zip(vals) {
-                acc += v * x[c as usize];
-            }
-            y[r as usize] = acc;
+            y[r as usize] = omega_linalg::kernels::sparse_dot(cols, vals, x);
         }
         Ok(y)
     }

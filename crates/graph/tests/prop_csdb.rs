@@ -1,0 +1,128 @@
+//! Property-based tests of the CSDB ↔ CSR equivalence that the parallel
+//! SpMM and serving paths lean on: both formats stream the **same**
+//! `(cols, vals)` row sequences through the shared
+//! `omega_linalg::kernels::sparse_dot` kernel, so their SpMV results must
+//! be bit-identical — not merely close — and a format-independent charging
+//! convention must produce byte-identical [`AccessSummary`] totals.
+
+use omega_graph::{Csdb, Csr, RmatConfig, SbmConfig};
+use omega_hetmem::{
+    AccessOp, AccessPattern, AccessSummary, DeviceKind, MemSystem, Placement, Topology,
+};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+/// A deterministic dense input in the given space.
+fn dense_input(n: u32, salt: u64) -> Vec<f32> {
+    (0..n as u64)
+        .map(|i| (((i * 37 + salt * 11) % 101) as f32 - 50.0) * 0.31)
+        .collect()
+}
+
+/// Charge one SpMV's traffic under the SpMM kernel's format-independent
+/// convention: 8 bytes of metadata per row plus 8 per nonzero streamed
+/// sequentially, one random dense gather per nonzero, one sequential
+/// result write — a function of `(rows, nnz)` only, never of the format's
+/// index layout.
+fn charged_spmv_summary(sys: &MemSystem, rows: u64, nnz: u64) -> AccessSummary {
+    let pm = Placement::node(0, DeviceKind::Pm);
+    let dram = Placement::node(0, DeviceKind::Dram);
+    let mut ctx = sys.thread_ctx_on(0);
+    ctx.charge_block(
+        pm,
+        AccessOp::Read,
+        AccessPattern::Seq,
+        rows * 8 + nnz * 8,
+        2,
+    );
+    if nnz > 0 {
+        ctx.charge_block(dram, AccessOp::Read, AccessPattern::Rand, nnz * 4, nnz);
+    }
+    ctx.charge_block(dram, AccessOp::Write, AccessPattern::Seq, rows * 4, 1);
+    AccessSummary::from_counters(ctx.counters())
+}
+
+fn assert_bit_identical(a: &[f32], b: &[f32]) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        prop_assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "row {} diverged: {} vs {}",
+            i,
+            x,
+            y
+        );
+    }
+    Ok(())
+}
+
+/// The shared body: CSDB SpMV vs. its CSR views, plus the charged-traffic
+/// equivalence, for one source matrix.
+fn check_csdb_csr_equivalence(csr: &Csr) -> Result<(), TestCaseError> {
+    let csdb = Csdb::from_csr(csr).unwrap();
+    prop_assert_eq!(csdb.nnz(), csr.nnz());
+
+    // Permuted space: CSDB rows and its to_csr() rows are the very same
+    // (cols, vals) sequences, so SpMV is bit-identical.
+    let x_perm = dense_input(csdb.cols(), 3);
+    let via_csdb = csdb.spmv(&x_perm).unwrap();
+    let via_view = csdb.to_csr().spmv(&x_perm).unwrap();
+    assert_bit_identical(&via_csdb, &via_view)?;
+
+    // Original space: reconstructing original ids re-sorts each row
+    // column-ascending — exactly the source CSR's order — so the
+    // round-trip SpMV is bit-identical to the source too.
+    let x_orig = dense_input(csr.cols(), 7);
+    let via_source = csr.spmv(&x_orig).unwrap();
+    let via_roundtrip = csdb.to_csr_original().spmv(&x_orig).unwrap();
+    assert_bit_identical(&via_source, &via_roundtrip)?;
+
+    // Charged traffic is a function of (rows, nnz) only: both formats
+    // produce byte-identical AccessSummary totals.
+    let sys = MemSystem::new(Topology::paper_machine_scaled(1 << 22));
+    let csr_side = charged_spmv_summary(&sys, csr.rows() as u64, csr.nnz() as u64);
+    let csdb_side = charged_spmv_summary(&sys, csdb.rows() as u64, csdb.nnz() as u64);
+    prop_assert_eq!(csr_side.total_bytes, csdb_side.total_bytes);
+    prop_assert_eq!(csr_side.total_accesses, csdb_side.total_accesses);
+    prop_assert_eq!(csr_side.pm_bytes, csdb_side.pm_bytes);
+    prop_assert_eq!(csr_side.dram_bytes, csdb_side.dram_bytes);
+    prop_assert_eq!(csr_side.random_bytes, csdb_side.random_bytes);
+    prop_assert_eq!(csr_side.read_bytes, csdb_side.read_bytes);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random scale-free (R-MAT) graphs: CSDB and CSR SpMV agree to the
+    /// bit in both id spaces, and charged byte totals match exactly.
+    #[test]
+    fn rmat_csdb_csr_bit_identical(
+        n in 8u32..400,
+        e in 8u64..2_000,
+        seed in 0u64..500,
+    ) {
+        let csr = RmatConfig::social(n, e, seed).generate_csr().unwrap();
+        check_csdb_csr_equivalence(&csr)?;
+    }
+
+    /// Random community (SBM) graphs: same equivalence on a flat degree
+    /// distribution, where CSDB's degree blocks collapse differently.
+    #[test]
+    fn sbm_csdb_csr_bit_identical(
+        n in 8u32..300,
+        k in 1u32..6,
+        seed in 0u64..200,
+    ) {
+        let cfg = SbmConfig {
+            nodes: n,
+            communities: k.min(n),
+            deg_in: 5.0,
+            deg_out: 1.5,
+            seed,
+        };
+        let csr = cfg.generate_csr().unwrap();
+        check_csdb_csr_equivalence(&csr)?;
+    }
+}

@@ -119,6 +119,45 @@ mod tests {
         assert_eq!(ctx.counters().total_bytes(), 128);
     }
 
+    /// A hook that records every consult ordinal it sees.
+    #[derive(Debug, Default)]
+    struct SeqRecorder {
+        seen: std::sync::Mutex<Vec<u64>>,
+    }
+
+    impl FaultHook for SeqRecorder {
+        fn on_access(&self, _now: SimDuration, seq: u64, _access: &FaultAccess) -> FaultVerdict {
+            self.seen.lock().unwrap().push(seq);
+            FaultVerdict::Ok
+        }
+    }
+
+    #[test]
+    fn fault_streams_partition_the_consult_ordinals() {
+        let hook = Arc::new(SeqRecorder::default());
+        let sys =
+            MemSystem::new(Topology::paper_machine_scaled(1 << 20)).with_fault_hook(hook.clone());
+        let pm = Placement::node(0, DeviceKind::Pm);
+        let charge = |ctx: &mut crate::ThreadMem| {
+            ctx.charge_block(pm, AccessOp::Read, AccessPattern::Seq, 64, 1);
+        };
+        // Two contexts on distinct streams, consults interleaved: each draws
+        // from its own ordinal range, regardless of interleaving.
+        let mut a = sys.thread_ctx_on(0);
+        a.set_fault_stream(3);
+        let mut b = sys.thread_ctx_on(0);
+        b.set_fault_stream(9);
+        charge(&mut a);
+        charge(&mut b);
+        charge(&mut a);
+        let seen = hook.seen.lock().unwrap().clone();
+        assert_eq!(seen, vec![3 << 32, 9 << 32, (3 << 32) | 1]);
+        // An un-rebased context stays on stream 0.
+        let mut c = sys.thread_ctx_on(0);
+        charge(&mut c);
+        assert_eq!(*hook.seen.lock().unwrap().last().unwrap(), 0);
+    }
+
     #[test]
     fn no_hook_is_free_of_side_effects() {
         let sys = MemSystem::new(Topology::paper_machine_scaled(1 << 20));

@@ -175,6 +175,20 @@ impl ThreadMem {
         self.sim_now = now;
     }
 
+    /// Rebase this context's fault-consult ordinals onto an independent
+    /// `stream`: the next consult draws as ordinal `stream << 32`, the one
+    /// after as `stream << 32 | 1`, and so on.
+    ///
+    /// Parallel consumers (per-shard serve tasks, per-chunk SpMM workers)
+    /// give each task a stream derived from *what* it processes rather than
+    /// *which* thread runs it, so the fault schedule is a pure function of
+    /// the work — byte-identical at any thread count and under any
+    /// scheduling interleave. Streams below `1 << 32` consults never collide
+    /// with each other or with an un-rebased context (stream 0).
+    pub fn set_fault_stream(&mut self, stream: u64) {
+        self.fault_seq = stream << 32;
+    }
+
     /// Simulated time injected into this context by the active fault plan
     /// (latency spikes, degradation windows, failed-attempt penalties).
     /// Zero when no plan is installed.

@@ -3,8 +3,13 @@
 //! From-scratch dense kernels needed by the ProNE embedding model:
 //! column-major [`DenseMatrix`], GEMM, Householder QR, and one-sided Jacobi
 //! SVD. No external BLAS/LAPACK — the reproduction builds every substrate.
+//!
+//! [`kernels`] holds the blocked, lane-unrolled f32 hot loops (dense dot,
+//! sparse gather-dot, batched scoring, row gather) shared by the serving
+//! scan, the embedding top-k and the SpMM accumulation step.
 
 pub mod gemm;
+pub mod kernels;
 pub mod matrix;
 pub mod ops;
 pub mod qr;

@@ -19,11 +19,15 @@
 //!   TinyLFU-style frequency admission, so Zipfian traffic keeps its head
 //!   resident and scans cannot flush it.
 //! * [`EmbedServer`] — the engine: coalesces each batch's misses into one
-//!   fetch per distinct shard, answers strictly in arrival order, and
+//!   fetch per distinct shard, fans per-shard work (fetches, point
+//!   lookups, top-k shard scans) out on a scoped worker pool sized by
+//!   [`ServeConfig::threads`], answers strictly in arrival order, and
 //!   charges every byte (cold fetch, DRAM staging, row serve, top-k scan)
-//!   to the simulated clock. Spans `serve.batch` / `serve.fetch` /
-//!   `serve.lookup` / `serve.topk` and `serve.cache.*` counters flow
-//!   through `omega-obs`.
+//!   to the simulated clock. Thread count is a pure wall-clock knob —
+//!   simulated clocks, metrics and results are byte-identical at every
+//!   value. Spans `serve.batch` / `serve.fetch` / `serve.lookup` /
+//!   `serve.topk` / `serve.shard.parallel` and `serve.cache.*` counters
+//!   flow through `omega-obs`.
 //! * [`RequestStream`] — a deterministic closed-loop load generator
 //!   (seeded Zipfian or uniform popularity, optional top-k mix): the same
 //!   seed produces the same request stream on any machine, which makes
@@ -47,6 +51,7 @@
 //! ```
 
 mod cache;
+mod pool;
 mod server;
 mod store;
 mod workload;

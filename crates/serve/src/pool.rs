@@ -1,0 +1,116 @@
+//! A tiny scoped work-stealing pool for per-shard serving tasks.
+//!
+//! The serving engine's parallelism contract is strict: worker threads may
+//! only *compute* — charge their own [`omega_hetmem::ThreadMem`] contexts,
+//! score rows, stage copies — while every effect on shared state (the
+//! simulated clock, the run ledger, the cache, the span stream) is applied
+//! by the caller in a deterministic merge order afterwards. This module
+//! supplies exactly that shape: `run(threads, n, f)` evaluates `f` on every
+//! index `0..n` and hands back the results **indexed by input position**,
+//! regardless of which worker ran what when.
+//!
+//! With `threads <= 1` (or a single task) the closure runs inline on the
+//! caller's thread, in index order — the same code path the parallel
+//! workers execute, so results are identical at every thread count by
+//! construction and the sequential configuration pays zero synchronisation.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Evaluate `f(scratch, i)` for every `i in 0..n` on up to `threads`
+/// workers and return the results in index order.
+///
+/// `S` is worker-local scratch (e.g. a score buffer): each worker
+/// materialises one `S::default()` and reuses it across every task it
+/// steals, so per-task allocations are amortised without sharing state.
+///
+/// Tasks are claimed from a shared atomic counter (work stealing by
+/// competition), which keeps workers busy when task costs are skewed —
+/// e.g. one cold shard retrying through a fault plan while the rest are
+/// cache hits. A panicking task propagates to the caller via the scope.
+pub fn run<T, S, F>(threads: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    S: Default + Send,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        let mut scratch = S::default();
+        return (0..n).map(|i| f(&mut scratch, i)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|| {
+                let mut scratch = S::default();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let out = f(&mut scratch, i);
+                    slots.lock().unwrap()[i] = Some(out);
+                }
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| slot.unwrap_or_else(|| panic!("task {i} produced no result")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_index_ordered_at_every_thread_count() {
+        for threads in [0, 1, 2, 4, 8] {
+            let out: Vec<usize> = run(threads, 37, |_: &mut (), i| i * i);
+            assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn scratch_is_worker_local_and_reused() {
+        // Sequential path: one scratch serves all tasks in order.
+        let out: Vec<usize> = run(1, 5, |seen: &mut Vec<usize>, i| {
+            seen.push(i);
+            seen.len()
+        });
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+        // Parallel path: each worker's scratch only grows with its own
+        // tasks, so no task can observe more history than its position.
+        let out: Vec<usize> = run(4, 64, |seen: &mut Vec<usize>, i| {
+            seen.push(i);
+            seen.len()
+        });
+        for (i, &len) in out.iter().enumerate() {
+            assert!(len >= 1 && len <= i + 1);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let none: Vec<u32> = run(8, 0, |_: &mut (), _| unreachable!());
+        assert!(none.is_empty());
+        let one: Vec<u32> = run(8, 1, |_: &mut (), i| i as u32 + 41);
+        assert_eq!(one, vec![41]);
+    }
+
+    #[test]
+    fn skewed_task_costs_still_fill_every_slot() {
+        let out: Vec<u64> = run(3, 24, |_: &mut (), i| {
+            if i % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            i as u64
+        });
+        assert_eq!(out, (0..24).collect::<Vec<_>>());
+    }
+}

@@ -16,8 +16,25 @@
 //! The server keeps its own byte ledger (`cold_read_bytes`,
 //! `dram_read_bytes`, `dram_write_bytes`) alongside the merged
 //! [`ClassCounters`]; integration tests assert the two agree exactly.
+//!
+//! ## Parallelism
+//!
+//! Per-shard batch work — shard fetches, grouped point lookups, the
+//! per-shard legs of a top-k scan — runs on a scoped worker pool
+//! ([`crate::pool`]) sized by [`ServeConfig::threads`]. Worker tasks only
+//! *compute*: each charges its own [`ThreadMem`] context (pinned to a
+//! deterministic fault stream derived from *what* it processes, never from
+//! which thread ran it) and returns an outcome struct. The caller then
+//! merges outcomes in a fixed order — ascending shard id for fetches and
+//! scans, arrival order for lookups — applying counters, stats, simulated
+//! time and spans exactly as the sequential loop would. Thread count is
+//! therefore a pure wall-clock knob: simulated clocks, metrics and results
+//! are byte-identical at `threads = 1` and `threads = 64`. Each fan-out is
+//! announced by a zero-sim-duration `serve.shard.parallel` span carrying
+//! `phase` / `tasks` / `threads` args.
 
 use crate::cache::{HotCache, InsertOutcome};
+use crate::pool;
 use crate::store::ShardedStore;
 use crate::workload::{RequestKind, RequestStream};
 use omega_embed::{Embedding, Metric, TopK};
@@ -52,6 +69,10 @@ pub struct ServeConfig {
     pub max_retries: u32,
     /// Simulated backoff before the first retry; doubles per attempt.
     pub retry_backoff_ns: u64,
+    /// Worker threads for per-shard batch work (fetches, point lookups,
+    /// top-k shard scans). Purely a wall-clock knob: simulated clocks,
+    /// metrics and results are byte-identical at every value.
+    pub threads: usize,
 }
 
 impl ServeConfig {
@@ -69,6 +90,7 @@ impl ServeConfig {
             metric: Metric::Dot,
             max_retries: 3,
             retry_backoff_ns: 2_000,
+            threads: 1,
         }
     }
 
@@ -105,6 +127,11 @@ impl ServeConfig {
 
     pub fn retry_backoff_ns(mut self, ns: u64) -> Self {
         self.retry_backoff_ns = ns;
+        self
+    }
+
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -205,6 +232,74 @@ fn percentile(values: &[u64], q: f64) -> u64 {
     sorted[rank.max(1) - 1]
 }
 
+/// Fault-stream tags for worker-task contexts (see
+/// [`ThreadMem::set_fault_stream`]): each task draws fault verdicts from a
+/// stream derived from *what* it processes, so draws are independent of
+/// scheduling and identical at every thread count.
+const FETCH_STREAM: u64 = 1 << 20;
+const SCAN_STREAM: u64 = 2 << 20;
+const LOOKUP_STREAM: u64 = 3 << 20;
+
+/// Byte/fault ledger deltas a worker task accumulated; applied to the
+/// run's [`ServeStats`] at merge time.
+#[derive(Debug, Clone, Copy, Default)]
+struct PathStats {
+    cold_read_bytes: u64,
+    dram_read_bytes: u64,
+    dram_write_bytes: u64,
+    faults_injected: u64,
+    faults_retried: u64,
+    hedges_won: u64,
+    degraded: u64,
+}
+
+impl PathStats {
+    fn apply(&self, stats: &mut ServeStats) {
+        stats.cold_read_bytes += self.cold_read_bytes;
+        stats.dram_read_bytes += self.dram_read_bytes;
+        stats.dram_write_bytes += self.dram_write_bytes;
+        stats.faults_injected += self.faults_injected;
+        stats.faults_retried += self.faults_retried;
+        stats.hedges_won += self.hedges_won;
+        stats.degraded += self.degraded;
+    }
+}
+
+/// A span a fetch task would have emitted: `(name, attempt, duration)`.
+/// Replayed onto the recorder in merge order so the span stream is
+/// identical at every thread count.
+type SpanEvent = (&'static str, Option<u32>, SimDuration);
+
+/// Everything one parallel shard fetch produced.
+#[derive(Debug)]
+struct FetchOutcome {
+    sid: usize,
+    rows: Vec<f32>,
+    counters: ClassCounters,
+    stats: PathStats,
+    events: Vec<SpanEvent>,
+    total: SimDuration,
+}
+
+/// Everything one parallel point lookup produced.
+#[derive(Debug)]
+struct LookupOutcome {
+    row: Vec<f32>,
+    counters: ClassCounters,
+    dur: SimDuration,
+    row_bytes: u64,
+}
+
+/// Everything one shard's parallel top-k leg produced.
+#[derive(Debug)]
+struct ScanOutcome {
+    counters: ClassCounters,
+    penalty: SimDuration,
+    extra: SimDuration,
+    sel: TopK,
+    stats: PathStats,
+}
+
 /// A tiered embedding server over one simulated machine.
 #[derive(Debug)]
 pub struct EmbedServer {
@@ -279,25 +374,27 @@ impl EmbedServer {
         AccessSummary::from_counters(&self.counters)
     }
 
-    fn ctx(&self) -> ThreadMem {
+    /// A worker-task context: fresh [`ThreadMem`] pinned to `stream` and
+    /// `sim_now`. Streams derive from *what* the task processes (shard id,
+    /// request index), never from which worker ran it, so fault draws are
+    /// identical at every thread count.
+    fn task_ctx(&self, stream: u64, sim_now: SimDuration) -> ThreadMem {
         let mut ctx = self.sys.thread_ctx_on(self.cfg.hot_node);
-        // The installed fault plan (if any) keys window rules off the
-        // serving loop's simulated clock.
-        ctx.set_sim_now(self.sim_now);
+        ctx.set_fault_stream(stream);
+        ctx.set_sim_now(sim_now);
         ctx
     }
 
-    /// Settle a phase context: merge its counters into the run ledger and
-    /// convert them into simulated time — model cost plus whatever the
-    /// active fault plan injected (spikes, degradation, failed attempts).
-    fn settle(&mut self, ctx: &ThreadMem) -> SimDuration {
+    /// Convert a task context's charges into simulated time — model cost
+    /// plus whatever the active fault plan injected — and fold its counters
+    /// into the task's ledger (merged into the run ledger at merge time).
+    fn task_settle(&self, ctx: &ThreadMem, counters: &mut ClassCounters) -> SimDuration {
         let dur = self
             .sys
             .model()
             .thread_time(ctx.counters(), self.cfg.model_threads)
             + ctx.injected_penalty();
-        self.counters.merge(ctx.counters());
-        self.sim_now += dur;
+        counters.merge(ctx.counters());
         dur
     }
 
@@ -306,15 +403,33 @@ impl EmbedServer {
         SimDuration::from_nanos(self.cfg.retry_backoff_ns << (attempt - 1).min(16))
     }
 
-    /// Pull `sid`'s rows from the DRAM replica tier (the serving node keeps
-    /// a warm replica of the table) and stage them: the hedge target after
-    /// a cold-tier timeout and the degraded path once retries are spent.
-    /// Values are identical to the cold tier's, only the traffic differs.
-    fn replica_fetch(&mut self, sid: usize, span_name: &'static str) -> (Vec<f32>, SimDuration) {
-        let span = self.rec.begin(span_name, self.track);
-        self.rec.arg(&span, "shard", sid);
+    /// Announce a per-shard fan-out on the span stream: a zero-sim-duration
+    /// leaf (wall time is still captured) so parallel phases are visible
+    /// without perturbing the simulated cursor.
+    fn parallel_span(&self, phase: &'static str, tasks: usize) {
+        let span = self.rec.begin("serve.shard.parallel", self.track);
+        self.rec.arg(&span, "phase", phase);
+        self.rec.arg(&span, "tasks", tasks);
+        self.rec.arg(&span, "threads", self.cfg.threads.max(1));
+        self.rec.end(span, Some(SimDuration::ZERO));
+    }
+
+    /// Task half of the replica path: pull `sid`'s rows from the DRAM
+    /// replica tier (the serving node keeps a warm replica of the table)
+    /// and stage them — the hedge target after a cold-tier timeout and the
+    /// degraded path once retries are spent. Values are identical to the
+    /// cold tier's, only the traffic differs.
+    #[allow(clippy::too_many_arguments)]
+    fn replica_task(
+        &self,
+        sid: usize,
+        stream: u64,
+        sim_now: SimDuration,
+        counters: &mut ClassCounters,
+        stats: &mut PathStats,
+    ) -> (Vec<f32>, SimDuration) {
         let bytes = self.store.shard_bytes(sid);
-        let mut ctx = self.ctx();
+        let mut ctx = self.task_ctx(stream, sim_now);
         ctx.charge_block(
             self.cfg.hot_placement(),
             AccessOp::Read,
@@ -329,32 +444,28 @@ impl EmbedServer {
             bytes,
             1,
         );
-        self.stats.dram_read_bytes += bytes;
-        self.stats.dram_write_bytes += bytes;
+        stats.dram_read_bytes += bytes;
+        stats.dram_write_bytes += bytes;
         let rows = self.store.shard_raw(sid).to_vec();
-        let dur = self.settle(&ctx);
-        self.rec.end(span, Some(dur));
+        let dur = self.task_settle(&ctx, counters);
         (rows, dur)
     }
 
-    /// Bring `sid` DRAM-side: stream it from the cold tier and stage it into
-    /// DRAM, then offer it to the cache. Returns the fetch's simulated time.
-    ///
-    /// Robust against the installed fault plan: a transient failure retries
-    /// (bounded, exponential simulated backoff), a timeout hedges straight
-    /// to the DRAM replica, and an exhausted retry budget degrades to the
-    /// replica — so the fetch always completes with identical row values.
-    fn fetch_shard(&mut self, sid: usize) -> SimDuration {
+    /// Task half of a shard fetch: stream `sid` from the cold tier and
+    /// stage it into DRAM, retrying/hedging/degrading against the installed
+    /// fault plan exactly like the sequential path. Pure computation — the
+    /// outcome's counters, stats, simulated time and span events are
+    /// applied by [`EmbedServer::merge_fetch`] in ascending shard order.
+    fn fetch_shard_task(&self, sid: usize, batch_start: SimDuration) -> FetchOutcome {
         let bytes = self.store.shard_bytes(sid);
-        let mut total = SimDuration::ZERO;
+        let stream = FETCH_STREAM + sid as u64;
+        let mut counters = ClassCounters::default();
+        let mut stats = PathStats::default();
+        let mut events: Vec<SpanEvent> = Vec::new();
+        let mut elapsed = SimDuration::ZERO;
         let mut attempt: u32 = 0;
         let rows: Vec<f32> = loop {
-            let span = self.rec.begin("serve.fetch", self.track);
-            self.rec.arg(&span, "shard", sid);
-            if attempt > 0 {
-                self.rec.arg(&span, "attempt", attempt);
-            }
-            let mut ctx = self.ctx();
+            let mut ctx = self.task_ctx(stream, batch_start + elapsed);
             match self.store.try_read_shard(sid, &mut ctx) {
                 Ok(rows) => {
                     let rows = rows.to_vec();
@@ -365,48 +476,92 @@ impl EmbedServer {
                         bytes,
                         1,
                     );
-                    self.stats.cold_read_bytes += bytes;
-                    self.stats.dram_write_bytes += bytes;
-                    let dur = self.settle(&ctx);
-                    self.rec.end(span, Some(dur));
-                    total += dur;
+                    stats.cold_read_bytes += bytes;
+                    stats.dram_write_bytes += bytes;
+                    let dur = self.task_settle(&ctx, &mut counters);
+                    events.push(("serve.fetch", (attempt > 0).then_some(attempt), dur));
+                    elapsed += dur;
                     break rows;
                 }
                 Err(err) => {
                     // The doomed attempt still streamed out of the cold
                     // tier and burned its injected penalty.
-                    self.stats.cold_read_bytes += bytes;
-                    self.stats.faults_injected += 1;
-                    let dur = self.settle(&ctx);
-                    self.rec.end(span, Some(dur));
-                    total += dur;
+                    stats.cold_read_bytes += bytes;
+                    stats.faults_injected += 1;
+                    let dur = self.task_settle(&ctx, &mut counters);
+                    events.push(("serve.fetch", (attempt > 0).then_some(attempt), dur));
+                    elapsed += dur;
                     if err.is_timeout() {
                         // Don't retry a stalled device: hedge to the replica.
-                        self.stats.hedges_won += 1;
-                        let (rows, hedge_dur) = self.replica_fetch(sid, "serve.hedge");
-                        total += hedge_dur;
+                        stats.hedges_won += 1;
+                        let (rows, dur) = self.replica_task(
+                            sid,
+                            stream,
+                            batch_start + elapsed,
+                            &mut counters,
+                            &mut stats,
+                        );
+                        events.push(("serve.hedge", None, dur));
+                        elapsed += dur;
                         break rows;
                     }
                     if attempt < self.cfg.max_retries {
                         attempt += 1;
-                        self.stats.faults_retried += 1;
+                        stats.faults_retried += 1;
                         let wait = self.backoff(attempt);
-                        let span = self.rec.begin("serve.retry", self.track);
-                        self.rec.arg(&span, "shard", sid);
-                        self.rec.arg(&span, "attempt", attempt);
-                        self.rec.end(span, Some(wait));
-                        self.sim_now += wait;
-                        total += wait;
+                        events.push(("serve.retry", Some(attempt), wait));
+                        elapsed += wait;
                         continue;
                     }
                     // Retry budget spent: serve degraded from the replica.
-                    self.stats.degraded += 1;
-                    let (rows, deg_dur) = self.replica_fetch(sid, "serve.degraded");
-                    total += deg_dur;
+                    stats.degraded += 1;
+                    let (rows, dur) = self.replica_task(
+                        sid,
+                        stream,
+                        batch_start + elapsed,
+                        &mut counters,
+                        &mut stats,
+                    );
+                    events.push(("serve.degraded", None, dur));
+                    elapsed += dur;
                     break rows;
                 }
             }
         };
+        FetchOutcome {
+            sid,
+            rows,
+            counters,
+            stats,
+            events,
+            total: elapsed,
+        }
+    }
+
+    /// Merge half of a shard fetch: replay the task's span events, fold its
+    /// counters and stats into the run ledger, advance the simulated clock,
+    /// and offer the staged rows to the cache. Called in ascending shard
+    /// order, so eviction/admission decisions match the sequential loop.
+    fn merge_fetch(&mut self, out: FetchOutcome) -> SimDuration {
+        let FetchOutcome {
+            sid,
+            rows,
+            counters,
+            stats,
+            events,
+            total,
+        } = out;
+        for (name, attempt, dur) in events {
+            let span = self.rec.begin(name, self.track);
+            self.rec.arg(&span, "shard", sid);
+            if let Some(attempt) = attempt {
+                self.rec.arg(&span, "attempt", attempt);
+            }
+            self.rec.end(span, Some(dur));
+        }
+        self.counters.merge(&counters);
+        stats.apply(&mut self.stats);
+        self.sim_now += total;
         self.stats.fetches += 1;
         match self.cache.insert(&self.sys, sid, rows) {
             InsertOutcome::Admitted { evicted } => self.stats.evictions += evicted as u64,
@@ -417,10 +572,10 @@ impl EmbedServer {
         total
     }
 
-    /// Serve one row out of DRAM (cache slot if resident, else the staging
-    /// copy the fetch phase just made). Returns the row and the serve's
-    /// simulated time.
-    fn serve_row(&mut self, node: u32) -> (Vec<f32>, SimDuration) {
+    /// Task half of a point lookup: gather one row out of DRAM (cache slot
+    /// if resident, else the staging copy the fetch phase just made) and
+    /// charge the serve. Merged in arrival order by `serve_batch`.
+    fn lookup_task(&self, node: u32, stream: u64, sim_now: SimDuration) -> LookupOutcome {
         let sid = self.store.shard_of(node);
         let off = self.store.row_offset(node);
         let d = self.store.dim();
@@ -429,7 +584,7 @@ impl EmbedServer {
             None => self.store.shard_raw(sid)[off..off + d].to_vec(),
         };
         let row_bytes = (d * std::mem::size_of::<f32>()) as u64;
-        let mut ctx = self.ctx();
+        let mut ctx = self.task_ctx(stream, sim_now);
         ctx.charge_block(
             self.cfg.hot_placement(),
             AccessOp::Read,
@@ -438,91 +593,149 @@ impl EmbedServer {
             1,
         );
         ctx.add_cpu_ops(d as u64);
-        self.stats.dram_read_bytes += row_bytes;
-        let dur = self.settle(&ctx);
-        (row, dur)
+        let mut counters = ClassCounters::default();
+        let dur = self.task_settle(&ctx, &mut counters);
+        LookupOutcome {
+            row,
+            counters,
+            dur,
+            row_bytes,
+        }
     }
 
-    /// Brute-force blocked top-k scan over every shard. Cached shards stream
-    /// from DRAM; uncached shards stream straight from the cold tier (scans
-    /// do not pollute the cache: no admission, no recency bump). Both paths
-    /// score the same f32 rows through the shared [`TopK`] selector, so the
-    /// result is bit-identical whichever tier served it.
-    fn scan_top_k(&mut self, query: &[f32], k: usize) -> (Vec<(u32, f32)>, SimDuration) {
-        assert_eq!(query.len(), self.store.dim(), "query dimension mismatch");
-        let span = self.rec.begin("serve.topk", self.track);
-        self.rec.arg(&span, "k", k);
-        let mut ctx = self.ctx();
-        let mut sel = TopK::new(k);
-        let d = self.store.dim();
+    /// Task half of one shard's top-k leg: stream the shard (DRAM if
+    /// cached, else the cold tier with retries/replica fallback — scans do
+    /// not pollute the cache: no admission, no recency bump), score every
+    /// row through the shared blocked kernels into the worker's reusable
+    /// `scores` scratch, and keep the shard's `k` best candidates.
+    fn scan_shard_task(
+        &self,
+        query: &[f32],
+        k: usize,
+        sid: usize,
+        scan_start: SimDuration,
+        scores: &mut Vec<f32>,
+    ) -> ScanOutcome {
+        let bytes = self.store.shard_bytes(sid);
+        let mut ctx = self.task_ctx(SCAN_STREAM + sid as u64, scan_start);
+        let mut stats = PathStats::default();
         // Simulated backoff accumulated by in-scan retries (folded into the
         // scan's span so the obs cursor keeps covering every nanosecond).
         let mut extra = SimDuration::ZERO;
-        for sid in 0..self.store.num_shards() {
-            let bytes = self.store.shard_bytes(sid);
-            let rows: &[f32] = if self.cache.contains(sid) {
-                ctx.charge_block(
-                    self.cfg.hot_placement(),
-                    AccessOp::Read,
-                    AccessPattern::Seq,
-                    bytes,
-                    1,
-                );
-                self.stats.dram_read_bytes += bytes;
-                match self.cache.slot(sid) {
-                    Some(slot) => slot.raw(),
-                    // Defensive (audited unwrap): residency changed between
-                    // the check and the read — serve the identical bytes
-                    // from the staging copy instead of panicking mid-query.
-                    None => self.store.shard_raw(sid),
-                }
-            } else {
-                // Robust cold read: bounded retries on transient failures,
-                // replica fallback on timeout or an exhausted budget.
-                let mut attempt: u32 = 0;
-                loop {
-                    match self.store.try_read_shard(sid, &mut ctx) {
-                        Ok(rows) => {
-                            self.stats.cold_read_bytes += bytes;
-                            break rows;
+        let rows: &[f32] = if self.cache.contains(sid) {
+            ctx.charge_block(
+                self.cfg.hot_placement(),
+                AccessOp::Read,
+                AccessPattern::Seq,
+                bytes,
+                1,
+            );
+            stats.dram_read_bytes += bytes;
+            match self.cache.slot(sid) {
+                Some(slot) => slot.raw(),
+                // Defensive (audited unwrap): residency changed between
+                // the check and the read — serve the identical bytes
+                // from the staging copy instead of panicking mid-query.
+                None => self.store.shard_raw(sid),
+            }
+        } else {
+            // Robust cold read: bounded retries on transient failures,
+            // replica fallback on timeout or an exhausted budget.
+            let mut attempt: u32 = 0;
+            loop {
+                match self.store.try_read_shard(sid, &mut ctx) {
+                    Ok(rows) => {
+                        stats.cold_read_bytes += bytes;
+                        break rows;
+                    }
+                    Err(err) => {
+                        stats.cold_read_bytes += bytes;
+                        stats.faults_injected += 1;
+                        if !err.is_timeout() && attempt < self.cfg.max_retries {
+                            attempt += 1;
+                            stats.faults_retried += 1;
+                            extra += self.backoff(attempt);
+                            continue;
                         }
-                        Err(err) => {
-                            self.stats.cold_read_bytes += bytes;
-                            self.stats.faults_injected += 1;
-                            if !err.is_timeout() && attempt < self.cfg.max_retries {
-                                attempt += 1;
-                                self.stats.faults_retried += 1;
-                                extra += self.backoff(attempt);
-                                continue;
-                            }
-                            if err.is_timeout() {
-                                self.stats.hedges_won += 1;
-                            } else {
-                                self.stats.degraded += 1;
-                            }
-                            // Hedged/degraded: stream the replica from DRAM.
-                            ctx.charge_block(
-                                self.cfg.hot_placement(),
-                                AccessOp::Read,
-                                AccessPattern::Seq,
-                                bytes,
-                                1,
-                            );
-                            self.stats.dram_read_bytes += bytes;
-                            break self.store.shard_raw(sid);
+                        if err.is_timeout() {
+                            stats.hedges_won += 1;
+                        } else {
+                            stats.degraded += 1;
                         }
+                        // Hedged/degraded: stream the replica from DRAM.
+                        ctx.charge_block(
+                            self.cfg.hot_placement(),
+                            AccessOp::Read,
+                            AccessPattern::Seq,
+                            bytes,
+                            1,
+                        );
+                        stats.dram_read_bytes += bytes;
+                        break self.store.shard_raw(sid);
                     }
                 }
-            };
-            let lo = self.store.shard_rows(sid).start;
-            for (i, row) in rows.chunks_exact(d).enumerate() {
-                sel.push(lo + i as u32, self.cfg.metric.score(query, row));
             }
-            ctx.add_cpu_ops(2 * (rows.len() as u64));
+        };
+        let d = self.store.dim();
+        let lo = self.store.shard_rows(sid).start;
+        let mut sel = TopK::new(k);
+        self.cfg.metric.scores_into(query, rows, d, scores);
+        for (i, &score) in scores.iter().enumerate() {
+            sel.push(lo + i as u32, score);
         }
+        ctx.add_cpu_ops(2 * (rows.len() as u64));
+        let mut counters = ClassCounters::default();
+        counters.merge(ctx.counters());
+        ScanOutcome {
+            counters,
+            penalty: ctx.injected_penalty(),
+            extra,
+            sel,
+            stats,
+        }
+    }
+
+    /// Brute-force blocked top-k scan, fanned out shard-per-task. Cached
+    /// shards stream from DRAM; uncached shards stream straight from the
+    /// cold tier. Both paths score the same f32 rows through the shared
+    /// [`TopK`] selector, so the result is bit-identical whichever tier
+    /// served it — and, because per-shard counters merge exactly and are
+    /// converted to time in **one** `thread_time` call, bit-identical to
+    /// the sequential scan at every thread count.
+    fn scan_top_k(&mut self, query: &[f32], k: usize) -> (Vec<(u32, f32)>, SimDuration) {
+        assert_eq!(query.len(), self.store.dim(), "query dimension mismatch");
+        let shards = self.store.num_shards();
+        self.parallel_span("scan", shards);
+        let span = self.rec.begin("serve.topk", self.track);
+        self.rec.arg(&span, "k", k);
+        let scan_start = self.sim_now;
+        let this: &EmbedServer = self;
+        let outcomes = pool::run(this.cfg.threads, shards, |scores: &mut Vec<f32>, sid| {
+            this.scan_shard_task(query, k, sid, scan_start, scores)
+        });
+        let mut merged = ClassCounters::default();
+        let mut penalty = SimDuration::ZERO;
+        let mut extra = SimDuration::ZERO;
+        let mut sel = TopK::new(k);
+        for out in outcomes {
+            merged.merge(&out.counters);
+            penalty += out.penalty;
+            extra += out.extra;
+            out.stats.apply(&mut self.stats);
+            sel.merge(out.sel);
+        }
+        // One conversion over the *merged* counters: `thread_time` rounds
+        // once at the end, so splitting the charges per shard and summing
+        // per-shard times would drift from the sequential scan by rounding.
+        let dur = self
+            .sys
+            .model()
+            .thread_time(&merged, self.cfg.model_threads)
+            + penalty
+            + extra;
+        self.counters.merge(&merged);
+        self.sim_now += dur;
         let result = sel.into_sorted_vec();
-        let dur = self.settle(&ctx) + extra;
-        self.sim_now += extra;
         self.rec.end(span, Some(dur));
         (result, dur)
     }
@@ -531,10 +744,12 @@ impl EmbedServer {
     ///
     /// Phase 1 classifies every request against the cache as it stood when
     /// the batch arrived (hit/miss accounting) and fetches each distinct
-    /// missing shard once, in ascending shard order. Phase 2 answers
-    /// requests **in arrival order** — batching coalesces I/O but never
-    /// reorders responses. A request's simulated latency is the full fetch
-    /// phase plus every serve up to and including its own.
+    /// missing shard once — fetch tasks fan out on the worker pool, and
+    /// their outcomes merge in ascending shard order. Phase 2 resolves
+    /// every request's row in parallel (cache state is frozen for the
+    /// phase), then answers **in arrival order** — batching coalesces I/O
+    /// but never reorders responses. A request's simulated latency is the
+    /// full fetch phase plus every serve up to and including its own.
     pub fn serve_batch(&mut self, requests: &[crate::workload::Request]) -> BatchResult {
         let wall_start = Instant::now();
         let batch_span = self.rec.begin("serve.batch", self.track);
@@ -565,13 +780,33 @@ impl EmbedServer {
         }
         missing.sort_unstable();
         let mut fetch_dur = SimDuration::ZERO;
-        for sid in missing {
-            fetch_dur += self.fetch_shard(sid);
+        if !missing.is_empty() {
+            self.parallel_span("fetch", missing.len());
+            let batch_start = self.sim_now;
+            let this: &EmbedServer = self;
+            let outcomes = pool::run(this.cfg.threads, missing.len(), |_: &mut (), i| {
+                this.fetch_shard_task(missing[i], batch_start)
+            });
+            for out in outcomes {
+                fetch_dur += self.merge_fetch(out);
+            }
         }
 
-        // Phase 2: answer in arrival order. Point lookups accumulate into
-        // one `serve.lookup` leaf span per contiguous run; top-k scans get
-        // their own spans.
+        // Phase 2: resolve every request's row serve in parallel — cache
+        // state is frozen for the phase, so each task sees exactly the
+        // residency the sequential loop would — then answer in arrival
+        // order. Point lookups accumulate into one `serve.lookup` leaf span
+        // per contiguous run; top-k scans get their own spans.
+        let lookups = if requests.is_empty() {
+            Vec::new()
+        } else {
+            self.parallel_span("lookup", requests.len());
+            let phase_start = self.sim_now;
+            let this: &EmbedServer = self;
+            pool::run(this.cfg.threads, requests.len(), |_: &mut (), i| {
+                this.lookup_task(requests[i].node, LOOKUP_STREAM + i as u64, phase_start)
+            })
+        };
         let mut responses = Vec::with_capacity(requests.len());
         let mut latencies = Vec::with_capacity(requests.len());
         let mut served = SimDuration::ZERO;
@@ -583,24 +818,25 @@ impl EmbedServer {
                 *acc = SimDuration::ZERO;
             }
         };
-        for req in requests {
+        for (req, lk) in requests.iter().zip(lookups) {
+            self.counters.merge(&lk.counters);
+            self.sim_now += lk.dur;
+            self.stats.dram_read_bytes += lk.row_bytes;
             match req.kind {
                 RequestKind::Get => {
-                    let (row, dur) = self.serve_row(req.node);
                     self.stats.lookups += 1;
-                    lookup_acc += dur;
-                    served += dur;
-                    responses.push(Response::Vector(row));
+                    lookup_acc += lk.dur;
+                    served += lk.dur;
+                    responses.push(Response::Vector(lk.row));
                 }
                 RequestKind::TopK { k } => {
                     // Resolving the query vector is itself a row serve;
                     // fold it into the lookup span before the scan opens.
-                    let (query, row_dur) = self.serve_row(req.node);
-                    lookup_acc += row_dur;
+                    lookup_acc += lk.dur;
                     flush_lookups(&self.rec, self.track, &mut lookup_acc);
-                    let (neighbors, scan_dur) = self.scan_top_k(&query, k);
+                    let (neighbors, scan_dur) = self.scan_top_k(&lk.row, k);
                     self.stats.topks += 1;
-                    served += row_dur + scan_dur;
+                    served += lk.dur + scan_dur;
                     responses.push(Response::Neighbors(neighbors));
                 }
             }

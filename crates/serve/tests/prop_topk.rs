@@ -1,0 +1,100 @@
+//! Property-based tests of the blocked top-k selection against a naive
+//! O(n·d) reference: score every row, full-sort by `(score desc, id asc)`,
+//! truncate. Scoring goes through the same shared kernels on both sides,
+//! so any disagreement is a defect of the blocked/heap *selection* logic —
+//! tie handling across block boundaries, k ≥ n, k = 0 — not of float
+//! arithmetic.
+
+use omega_embed::{Embedding, Metric};
+use omega_hetmem::{MemSystem, Topology};
+use omega_serve::{EmbedServer, ServeConfig};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+/// The naive reference: full score vector, total-order sort, truncate.
+fn naive_top_k(emb: &Embedding, query: &[f32], k: usize, metric: Metric) -> Vec<(u32, f32)> {
+    let mut scored: Vec<(u32, f32)> = (0..emb.nodes())
+        .map(|v| (v, metric.score(query, emb.vector(v))))
+        .collect();
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    scored.truncate(k);
+    scored
+}
+
+/// Tie-rich embeddings: entries drawn from a tiny value alphabet so equal
+/// scores are common, with enough rows to straddle the 256-row block
+/// boundary of `Embedding::top_k`.
+fn tie_rich_embedding(nodes: u32, d: usize, seed: u64) -> Embedding {
+    let alphabet = [-1.0f32, 0.0, 0.5, 1.0];
+    let data: Vec<f32> = (0..nodes as u64 * d as u64)
+        .map(|i| alphabet[((i * 2_654_435_761 + seed * 97) % 4) as usize])
+        .collect();
+    Embedding::from_row_major(nodes, d, data)
+}
+
+fn check_against_naive(
+    emb: &Embedding,
+    query: &[f32],
+    k: usize,
+    metric: Metric,
+) -> Result<(), TestCaseError> {
+    let got = emb.top_k(query, k, metric);
+    let want = naive_top_k(emb, query, k, metric);
+    prop_assert_eq!(got.len(), want.len());
+    for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+        prop_assert_eq!(g.0, w.0, "rank {} picked node {} not {}", i, g.0, w.0);
+        prop_assert_eq!(g.1.to_bits(), w.1.to_bits(), "rank {} score bits", i);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Blocked selection equals the naive reference on tie-rich tables
+    /// spanning multiple blocks, for every k from 0 past n.
+    #[test]
+    fn blocked_top_k_matches_naive(
+        nodes in 1u32..700,
+        d in 1usize..24,
+        seed in 0u64..1_000,
+        k_kind in 0usize..4,
+        metric_dot in any::<bool>(),
+    ) {
+        let emb = tie_rich_embedding(nodes, d, seed);
+        let metric = if metric_dot { Metric::Dot } else { Metric::Cosine };
+        let query: Vec<f32> = (0..d).map(|i| ((i as f32) - 2.0) * 0.5).collect();
+        // k = 0, a mid k, exactly n, and past n.
+        let k = match k_kind {
+            0 => 0,
+            1 => (nodes as usize / 2).max(1),
+            2 => nodes as usize,
+            _ => nodes as usize + 13,
+        };
+        check_against_naive(&emb, &query, k, metric)?;
+    }
+
+    /// The serving scan (sharded, per-shard selectors merged) agrees with
+    /// both the naive reference and `Embedding::top_k`, whatever the shard
+    /// geometry and thread count carve out.
+    #[test]
+    fn serving_scan_matches_naive(
+        nodes in 16u32..400,
+        d in 1usize..16,
+        rows_per_shard in 1usize..64,
+        threads in 1usize..5,
+        seed in 0u64..500,
+    ) {
+        let emb = tie_rich_embedding(nodes, d, seed);
+        let sys = MemSystem::new(Topology::paper_machine_scaled(16 << 20));
+        let cfg = ServeConfig::new(u64::MAX)
+            .rows_per_shard(rows_per_shard)
+            .threads(threads);
+        let mut srv = EmbedServer::new(&sys, &emb, cfg).unwrap();
+        let query: Vec<f32> = (0..d).map(|i| 1.0 - (i as f32) * 0.25).collect();
+        let k = (nodes as usize / 3).max(1);
+        let got = srv.top_k(&query, k);
+        prop_assert_eq!(&got, &naive_top_k(&emb, &query, k, Metric::Dot));
+        prop_assert_eq!(got, emb.top_k(&query, k, Metric::Dot));
+    }
+}

@@ -234,11 +234,7 @@ pub fn run_workload(
         let (row_cols, row_vals) = inp.csdb.row(v);
         for (local_t, t) in cols.clone().enumerate() {
             let bcol = inp.dense.col_raw(t);
-            let mut acc = 0f32;
-            for (&c, &w) in row_cols.iter().zip(row_vals) {
-                acc += w * bcol[c as usize];
-            }
-            out[local_t * nrows + li] = acc;
+            out[local_t * nrows + li] = omega_linalg::kernels::sparse_dot(row_cols, row_vals, bcol);
         }
     }
     ctx.add_cpu_ops((workload.nnzs + nrows as u64) * ncols as u64);

@@ -59,21 +59,32 @@ impl NadpPlan {
             sparse_rows.push(start..row);
         }
 
-        // Dense column partition, even split.
-        let mut dense_parts = Vec::with_capacity(nodes);
-        let base = dense_cols / nodes;
-        let extra = dense_cols % nodes;
-        let mut col = 0usize;
-        for k in 0..nodes {
-            let width = base + usize::from(k < extra);
-            dense_parts.push(col..col + width);
-            col += width;
-        }
-
         // Thread split: round-robin so both sockets stay busy at any count.
         let mut thread_groups = vec![Vec::new(); nodes];
         for t in 0..threads {
             thread_groups[topo.node_of_thread_cyclic(t)].push(t);
+        }
+
+        // Dense column partition, even split — but only across sockets that
+        // actually received a thread. A socket with no thread group cannot
+        // execute its column block, so handing it columns would silently
+        // drop them from the result (visible at thread counts below the
+        // socket count); such sockets keep their sparse-row homes (remote
+        // sequential reads are near-free, per the NaDP discipline) and get
+        // an empty column range.
+        let active: Vec<usize> = (0..nodes)
+            .filter(|&k| !thread_groups[k].is_empty())
+            .collect();
+        let mut dense_parts = vec![0..0; nodes];
+        if !active.is_empty() {
+            let base = dense_cols / active.len();
+            let extra = dense_cols % active.len();
+            let mut col = 0usize;
+            for (i, &k) in active.iter().enumerate() {
+                let width = base + usize::from(i < extra);
+                dense_parts[k] = col..col + width;
+                col += width;
+            }
         }
 
         NadpPlan {
@@ -189,6 +200,21 @@ mod tests {
         assert_eq!(segs, vec![(0..2, 0)]);
         assert_eq!(plan.node_of_row(0), 0);
         assert_eq!(plan.node_of_row(g.rows() - 1), 1);
+    }
+
+    #[test]
+    fn thread_starved_sockets_get_no_columns() {
+        // Fewer threads than sockets: every dense column must still land on
+        // a socket that can execute it, or the executor would silently skip
+        // the block and leave zeros in the result.
+        let (g, topo) = setup();
+        let plan = NadpPlan::build(&g, 16, &topo, 1);
+        assert_eq!(plan.threads[0], vec![0]);
+        assert!(plan.threads[1].is_empty());
+        assert_eq!(plan.dense_cols[0], 0..16);
+        assert!(plan.dense_cols[1].is_empty());
+        // Sparse rows still cover the matrix (placement only).
+        assert_eq!(plan.sparse_rows[1].end, g.rows());
     }
 
     #[test]

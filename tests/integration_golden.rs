@@ -56,6 +56,10 @@ fn pipeline_metrics_match_golden() {
 }
 
 fn serve_metrics(plan: Option<FaultPlanSpec>) -> String {
+    serve_metrics_with_threads(plan, 1)
+}
+
+fn serve_metrics_with_threads(plan: Option<FaultPlanSpec>, threads: usize) -> String {
     let emb = omega::Embedding::from_matrix(&omega::linalg::gaussian_matrix(2_000, 8, 42));
     let sys = MemSystem::new(Topology::paper_machine_scaled(8 << 20));
     let sys = match plan {
@@ -64,7 +68,8 @@ fn serve_metrics(plan: Option<FaultPlanSpec>) -> String {
     };
     let cfg = ServeConfig::new(8 * 32 * 8 * 4)
         .rows_per_shard(32)
-        .cold(Placement::node(0, DeviceKind::Pm));
+        .cold(Placement::node(0, DeviceKind::Pm))
+        .threads(threads);
     let rec = Recorder::enabled();
     let mut srv = EmbedServer::new(&sys, &emb, cfg)
         .unwrap()
@@ -88,4 +93,22 @@ fn serve_metrics_match_golden() {
 fn faulted_serve_metrics_match_golden() {
     let spec = FaultPlanSpec::new(1729).with_transient(DeviceKind::Pm, 0.05, 3_000);
     assert_golden("serve_metrics_faulted.jsonl", &serve_metrics(Some(spec)));
+}
+
+/// The same faulted serving run fanned out on an 8-thread worker pool:
+/// freezes the parallel path's observable surface. Because fault streams
+/// key off *what* is processed and per-shard simulated costs merge in a
+/// fixed order, this snapshot is — by design — byte-identical to the
+/// sequential one, and the test pins that equality too.
+#[test]
+fn parallel_faulted_serve_metrics_match_golden() {
+    let spec = FaultPlanSpec::new(1729).with_transient(DeviceKind::Pm, 0.05, 3_000);
+    let got = serve_metrics_with_threads(Some(spec), 8);
+    assert_golden("serve_metrics_parallel_faulted.jsonl", &got);
+    if let Ok(sequential) = std::fs::read_to_string(golden_path("serve_metrics_faulted.jsonl")) {
+        assert_eq!(
+            got, sequential,
+            "parallel faulted snapshot drifted from the sequential one"
+        );
+    }
 }

@@ -270,6 +270,97 @@ fn zipf_head_hit_rate_beats_miss_rate() {
     assert!(uniform.stats.hit_rate() < report.stats.hit_rate());
 }
 
+/// Shard fan-out is annotated with zero-cost `serve.shard.parallel` spans:
+/// they name the phase and task count (wall-clock observability for the
+/// worker pool) without moving the simulated clock — so the span stream's
+/// timing invariants hold at every thread count.
+#[test]
+fn parallel_spans_annotate_fanout_without_simulated_cost() {
+    let emb = embedding(500, 3);
+    let sys = system();
+    let rec = Recorder::enabled();
+    let mut srv = EmbedServer::new(&sys, &emb, config(8).threads(4))
+        .unwrap()
+        .with_recorder(&rec, Track::MAIN);
+    let mut load = RequestStream::new(
+        WorkloadConfig::lookups(500, Popularity::Zipf { s: 1.0 }, 11).with_topk(0.02, 5),
+    );
+    let report = srv.run(&mut load, 1_000);
+
+    let spans = rec.spans();
+    let parallel: Vec<_> = spans
+        .iter()
+        .filter(|s| s.name == "serve.shard.parallel")
+        .collect();
+    assert!(!parallel.is_empty(), "no serve.shard.parallel spans");
+    let arg = |s: &omega_obs::SpanRecord, key: &str| {
+        s.args
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
+            .unwrap_or_default()
+    };
+    let mut phases = std::collections::BTreeSet::new();
+    for s in &parallel {
+        assert_eq!(s.sim_dur_ns, 0, "parallel span must not move sim clock");
+        assert_eq!(s.depth, 1, "parallel spans nest under serve.batch");
+        assert_eq!(arg(s, "threads"), "4");
+        assert!(arg(s, "tasks").parse::<usize>().unwrap() >= 1);
+        phases.insert(arg(s, "phase"));
+    }
+    // The mixed Get/TopK workload exercises all three fan-out phases.
+    for phase in ["fetch", "lookup", "scan"] {
+        assert!(phases.contains(phase), "missing fan-out phase {phase}");
+    }
+    // And the cursor still accounts for every simulated nanosecond.
+    assert_eq!(
+        rec.cursor(Track::MAIN).as_nanos(),
+        report.total_sim.as_nanos()
+    );
+}
+
+/// The worker-pool width is a wall-clock knob only: the full report —
+/// stats ledger, per-request simulated latencies, traffic summary — is
+/// identical at 1 and 8 threads.
+#[test]
+fn thread_count_never_changes_the_report() {
+    let run = |threads: usize| {
+        let emb = embedding(600, 17);
+        let sys = system();
+        let mut srv = EmbedServer::new(&sys, &emb, config(8).threads(threads)).unwrap();
+        let mut load = RequestStream::new(
+            WorkloadConfig::lookups(600, Popularity::Zipf { s: 1.1 }, 23).with_topk(0.05, 9),
+        );
+        srv.run(&mut load, 1_200)
+    };
+    let a = run(1);
+    let b = run(8);
+    assert_eq!(a.sim_latency_ns, b.sim_latency_ns);
+    assert_eq!(a.total_sim, b.total_sim);
+    let ledger = |s: &omega_serve::ServeStats| {
+        (
+            (s.requests, s.lookups, s.topks, s.batches),
+            (
+                s.hits,
+                s.misses,
+                s.fetches,
+                s.evictions,
+                s.admission_rejects,
+            ),
+            (s.cold_read_bytes, s.dram_read_bytes, s.dram_write_bytes),
+            (
+                s.faults_injected,
+                s.faults_retried,
+                s.hedges_won,
+                s.degraded,
+            ),
+        )
+    };
+    assert_eq!(ledger(&a.stats), ledger(&b.stats));
+    assert_eq!(a.traffic.total_bytes, b.traffic.total_bytes);
+    assert_eq!(a.traffic.total_accesses, b.traffic.total_accesses);
+}
+
 /// Out-of-range lookups die loudly at the serving boundary (the checked
 /// `try_vector` path), not as a slice panic inside a kernel.
 #[test]
