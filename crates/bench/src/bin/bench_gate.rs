@@ -1,11 +1,12 @@
-//! Wall-clock benchmark gate for the parallel serving and SpMM hot paths.
+//! Wall-clock benchmark gate for the parallel serving, SpMM and training
+//! hot paths.
 //!
 //! Runs a fixed set of seeded workloads N times, records nearest-rank
 //! median and p95 **wall** nanoseconds plus the exact **simulated**
 //! nanoseconds and byte traffic, and compares the wall numbers against the
-//! committed baselines `BENCH_serving.json` / `BENCH_spmm.json` at the
-//! repository root (schema per record: `{workload, wall_ns_p50,
-//! wall_ns_p95, sim_ns, bytes, git_rev}`).
+//! committed baselines `BENCH_serving.json` / `BENCH_spmm.json` /
+//! `BENCH_prone.json` at the repository root (schema per record:
+//! `{workload, wall_ns_p50, wall_ns_p95, sim_ns, bytes, git_rev}`).
 //!
 //! The two clocks play different roles:
 //!
@@ -27,13 +28,14 @@
 //!   across thread counts) still enforced.
 //! * `--update` — rewrite the baseline files from this run.
 //!
-//! The serving speedup (threads=1 vs threads=8 wall p50) is always
-//! *recorded* and printed, never asserted: single-core containers run this
-//! gate too, and there the ratio is legitimately ~1.
+//! The serving and training speedups (threads=1 vs threads=8 wall p50)
+//! are always *recorded* and printed, never asserted: single-core
+//! containers run this gate too, and there the ratio is legitimately ~1.
 
 use omega_bench::{
     gate_records_from_json, gate_records_to_json, git_rev, percentile_u64, GateRecord,
 };
+use omega_embed::prone::{Prone, ProneConfig};
 use omega_embed::Embedding;
 use omega_graph::{Csdb, RmatConfig};
 use omega_hetmem::{DeviceKind, MemSystem, Placement, Topology};
@@ -62,6 +64,11 @@ const SPMM_NODES: u32 = 2_000;
 const SPMM_EDGES: u64 = 30_000;
 const SPMM_DENSE_COLS: usize = 32;
 const SPMM_THREADS: usize = 8;
+/// End-to-end training (ProNE embed) workload. Sized so the dense QR/SVD
+/// stages clear the parallel kernels' sequential-fallback thresholds.
+const PRONE_NODES: u32 = 1_500;
+const PRONE_EDGES: u64 = 15_000;
+const PRONE_DIM: usize = 32;
 /// Regression threshold on wall p50 vs. the committed baseline.
 const MAX_REGRESSION: f64 = 1.15;
 
@@ -157,6 +164,61 @@ fn walk_run() -> Sample {
         sim_ns: 0,
         bytes: steps * 4,
     }
+}
+
+/// Seeded end-to-end ProNE embedding with `wall_threads` workers on both
+/// the SpMM workload pool and the dense kernels. The wall clock is the
+/// measurement; sim_ns and bytes must not move with the worker count.
+fn prone_run(wall_threads: usize) -> Sample {
+    let csr = RmatConfig::social(PRONE_NODES, PRONE_EDGES, SEED)
+        .generate_csr()
+        .unwrap();
+    let sys = MemSystem::new(Topology::paper_machine_scaled(1 << 24));
+    let engine = SpmmEngine::new(sys, SpmmConfig::omega(SPMM_THREADS))
+        .unwrap()
+        .with_wall_threads(wall_threads);
+    let prone = Prone::new(
+        engine,
+        ProneConfig {
+            dim: PRONE_DIM,
+            oversample: 8,
+            threads: wall_threads,
+            ..ProneConfig::default()
+        },
+    );
+    let start = Instant::now();
+    let (_, report) = prone.embed(&csr).unwrap();
+    let traffic = omega_hetmem::AccessSummary::from_counters(&prone.engine().lifetime_counters());
+    Sample {
+        wall_ns: start.elapsed().as_nanos() as u64,
+        sim_ns: report.total().as_nanos(),
+        bytes: traffic.total_bytes,
+    }
+}
+
+/// Training metrics export at a wall-thread count — the smoke determinism
+/// probe for the training path.
+fn prone_metrics(wall_threads: usize) -> String {
+    let csr = RmatConfig::social(PRONE_NODES, PRONE_EDGES, SEED)
+        .generate_csr()
+        .unwrap();
+    let sys = MemSystem::new(Topology::paper_machine_scaled(1 << 24));
+    let rec = Recorder::enabled();
+    let engine = SpmmEngine::new(sys, SpmmConfig::omega(SPMM_THREADS))
+        .unwrap()
+        .with_recorder(rec.clone())
+        .with_wall_threads(wall_threads);
+    let prone = Prone::new(
+        engine,
+        ProneConfig {
+            dim: PRONE_DIM,
+            oversample: 8,
+            threads: wall_threads,
+            ..ProneConfig::default()
+        },
+    );
+    prone.embed(&csr).unwrap();
+    rec.metrics_jsonl()
 }
 
 /// Repeat a workload, enforce sim/byte determinism across repeats, and
@@ -292,6 +354,26 @@ fn main() {
         measure("walk", repeats, &rev, walk_run),
     ];
 
+    println!("training workloads:");
+    let training = vec![
+        measure("prone_seq", repeats, &rev, || prone_run(1)),
+        measure("prone_par8", repeats, &rev, || prone_run(8)),
+    ];
+    // Wall workers must be invisible to every simulated observable.
+    assert_eq!(
+        training[0].sim_ns, training[1].sim_ns,
+        "wall-thread count changed the training sim clock"
+    );
+    assert_eq!(
+        training[0].bytes, training[1].bytes,
+        "wall-thread count changed the training byte traffic"
+    );
+    let train_speedup = training[0].wall_ns_p50 as f64 / training[1].wall_ns_p50.max(1) as f64;
+    println!(
+        "  training wall speedup at 8 threads: {train_speedup:.2}x \
+         (recorded, not asserted — 1 on single-core machines)"
+    );
+
     if smoke {
         // Byte-identity of the full metrics export across thread counts —
         // the strongest cheap determinism probe.
@@ -302,8 +384,15 @@ fn main() {
             "serve metrics JSONL differs between 1 and 8 threads"
         );
         assert!(!seq.is_empty());
+        let train_seq = prone_metrics(1);
+        let train_par = prone_metrics(8);
+        assert_eq!(
+            train_seq, train_par,
+            "training metrics JSONL differs between 1 and 8 wall threads"
+        );
+        assert!(!train_seq.is_empty());
         // Schema round-trip of everything we would write.
-        for recs in [&serving, &compute] {
+        for recs in [&serving, &compute, &training] {
             assert_eq!(&gate_records_from_json(&gate_records_to_json(recs)), recs);
         }
         println!("smoke checks passed: metrics byte-identical across threads, schema round-trips");
@@ -311,13 +400,16 @@ fn main() {
 
     let serving_path = repo_root().join("BENCH_serving.json");
     let compute_path = repo_root().join("BENCH_spmm.json");
+    let training_path = repo_root().join("BENCH_prone.json");
     if update {
         std::fs::write(&serving_path, gate_records_to_json(&serving)).unwrap();
         std::fs::write(&compute_path, gate_records_to_json(&compute)).unwrap();
+        std::fs::write(&training_path, gate_records_to_json(&training)).unwrap();
         println!(
-            "baselines updated: {} and {}",
+            "baselines updated: {}, {} and {}",
             serving_path.display(),
-            compute_path.display()
+            compute_path.display(),
+            training_path.display()
         );
         return;
     }
@@ -326,7 +418,9 @@ fn main() {
     }
 
     println!("baseline comparison (threshold {MAX_REGRESSION:.2}x on wall p50):");
-    let regressions = compare(&serving_path, &serving) + compare(&compute_path, &compute);
+    let regressions = compare(&serving_path, &serving)
+        + compare(&compute_path, &compute)
+        + compare(&training_path, &training);
     if regressions > 0 {
         eprintln!("{regressions} workload(s) regressed past the wall-clock gate");
         std::process::exit(1);

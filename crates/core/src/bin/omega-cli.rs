@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! omega-cli embed   --input graph.txt --output emb.txt [--dim 64]
-//!                   [--threads 30] [--mode hetero|dram|pm]
+//!                   [--threads 30] [--wall-threads 1] [--mode hetero|dram|pm]
 //!                   [--no-wofp] [--no-nadp] [--no-asl]
 //!                   [--trace-out trace.json] [--metrics-out metrics.jsonl]
 //! omega-cli generate --nodes 10000 --edges 200000 --seed 7 --output g.txt
@@ -43,7 +43,7 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   omega-cli embed    --input <edge-list> --output <file> [--dim N]
-                     [--threads N] [--mode hetero|dram|pm]
+                     [--threads N] [--wall-threads W] [--mode hetero|dram|pm]
                      [--no-wofp] [--no-nadp] [--no-asl]
                      [--trace-out <file>] [--metrics-out <file>]
   omega-cli generate --nodes N --edges M [--seed S] --output <file>
@@ -130,6 +130,10 @@ fn embed(opts: &Opts) -> Result<(), String> {
     let output = opts.require("output")?.to_string();
     let dim: usize = opts.get_or("dim", 64)?;
     let threads: usize = opts.get_or("threads", 30)?;
+    // Wall-clock workers for the training kernels. Unlike --threads (the
+    // simulated thread count, which feeds the cost model), this knob only
+    // changes real elapsed time: outputs are bit-identical at every value.
+    let wall_threads: usize = opts.get_or("wall-threads", 1)?;
     let mode = opts
         .values
         .get("mode")
@@ -163,6 +167,7 @@ fn embed(opts: &Opts) -> Result<(), String> {
     let cfg = OmegaConfig::default()
         .with_dim(dim)
         .with_threads(threads)
+        .with_wall_threads(wall_threads)
         .with_variant(variant);
     let rec = if trace_out.is_some() || metrics_out.is_some() {
         Recorder::enabled()

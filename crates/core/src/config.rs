@@ -90,6 +90,17 @@ impl OmegaConfig {
         self
     }
 
+    /// Wall-clock worker threads for the training path (SpMM workload
+    /// execution and the dense GEMM/QR/SVD/Chebyshev kernels). Distinct
+    /// from [`Self::with_threads`], which sets the *simulated* thread count
+    /// and changes the cost model: this knob only changes real elapsed
+    /// time — embeddings, sim clocks, byte ledgers and metrics are
+    /// bit-identical at every value.
+    pub fn with_wall_threads(mut self, wall_threads: usize) -> Self {
+        self.prone.threads = wall_threads.max(1);
+        self
+    }
+
     pub fn with_topology(mut self, topology: Topology) -> Self {
         self.topology = topology;
         self
@@ -183,6 +194,17 @@ mod tests {
         assert!(SystemVariant::OmegaWithoutAsl.spmm_config(t).asl.is_none());
         assert_eq!(SystemVariant::Omega.label(), "OMeGa");
         assert_eq!(SystemVariant::OmegaWithoutNadp.label(), "OMeGa-w/o-NaDP");
+    }
+
+    #[test]
+    fn wall_threads_is_separate_from_simulated_threads() {
+        let cfg = OmegaConfig::default().with_threads(30).with_wall_threads(8);
+        assert_eq!(cfg.threads, 30);
+        assert_eq!(cfg.prone.threads, 8);
+        // The simulated cost model only sees the simulated count.
+        assert_eq!(cfg.spmm_config().threads, 30);
+        // Clamped to at least one worker.
+        assert_eq!(OmegaConfig::default().with_wall_threads(0).prone.threads, 1);
     }
 
     #[test]

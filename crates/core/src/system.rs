@@ -64,7 +64,8 @@ impl Omega {
         let sys = MemSystem::new(self.cfg.topology.clone());
         Ok(SpmmEngine::new(sys, self.spmm)
             .map_err(omega_embed::EmbedError::Spmm)?
-            .with_recorder(self.rec.clone()))
+            .with_recorder(self.rec.clone())
+            .with_wall_threads(self.cfg.prone.threads))
     }
 
     /// End-to-end embedding of a symmetric adjacency matrix.

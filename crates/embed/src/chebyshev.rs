@@ -14,7 +14,7 @@ use crate::Result;
 use omega_graph::convert::{permute_vec, unpermute_rows_row_major};
 use omega_graph::{Csdb, Csr};
 use omega_hetmem::SimDuration;
-use omega_linalg::DenseMatrix;
+use omega_linalg::{axpy_threads, scale_threads, svd_tall_threads, DenseMatrix};
 use omega_spmm::SpmmEngine;
 
 /// Propagation parameters (ProNE defaults).
@@ -26,6 +26,10 @@ pub struct ChebyshevConfig {
     pub mu: f32,
     /// Band-pass sharpness `θ`.
     pub theta: f32,
+    /// Worker-pool width for the dense term combination and final SVD.
+    /// Wall-clock only: every kernel is bit-identical at any value, and the
+    /// simulated dense cost is charged from the *simulated* thread count.
+    pub threads: usize,
 }
 
 impl Default for ChebyshevConfig {
@@ -34,6 +38,7 @@ impl Default for ChebyshevConfig {
             order: 10,
             mu: 0.2,
             theta: 0.5,
+            threads: 1,
         }
     }
 }
@@ -121,32 +126,34 @@ pub fn propagate(
 
     let theta = cfg.theta as f64;
 
+    let wt = cfg.threads;
+
     // Lx1 = 0.5·M·(M·x) − x.
     let mut lx0 = x.clone();
     let t = run(&m_hat, &x)?;
     let mut lx1 = run(&m_hat, &t)?;
-    lx1.scale(0.5);
-    lx1.axpy(-1.0, &x)?;
+    scale_threads(&mut lx1, 0.5, wt);
+    axpy_threads(&mut lx1, -1.0, &x, wt)?;
 
     // conv = I₀(θ)·Lx0 − 2·I₁(θ)·Lx1.
     let mut conv = lx0.clone();
-    conv.scale(bessel_iv(0, theta) as f32);
+    scale_threads(&mut conv, bessel_iv(0, theta) as f32, wt);
     {
         let mut term = lx1.clone();
-        term.scale(-2.0 * bessel_iv(1, theta) as f32);
-        conv.axpy(1.0, &term)?;
+        scale_threads(&mut term, -2.0 * bessel_iv(1, theta) as f32, wt);
+        axpy_threads(&mut conv, 1.0, &term, wt)?;
     }
 
     for i in 2..cfg.order {
         // Lx2 = (M·(M·Lx1) − 2·Lx1) − Lx0.
         let t = run(&m_hat, &lx1)?;
         let mut lx2 = run(&m_hat, &t)?;
-        lx2.axpy(-2.0, &lx1)?;
-        lx2.axpy(-1.0, &lx0)?;
+        axpy_threads(&mut lx2, -2.0, &lx1, wt)?;
+        axpy_threads(&mut lx2, -1.0, &lx0, wt)?;
         let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
         let mut term = lx2.clone();
-        term.scale(sign * 2.0 * bessel_iv(i, theta) as f32);
-        conv.axpy(1.0, &term)?;
+        scale_threads(&mut term, sign * 2.0 * bessel_iv(i, theta) as f32, wt);
+        axpy_threads(&mut conv, 1.0, &term, wt)?;
         dense_time += dense_cost(engine, 6 * (n * d) as u64);
         lx0 = lx1;
         lx1 = lx2;
@@ -154,13 +161,13 @@ pub fn propagate(
 
     // mm = (A+I)·(x − conv), then SVD-based re-embedding.
     let mut filtered = x;
-    filtered.axpy(-1.0, &conv)?;
+    axpy_threads(&mut filtered, -1.0, &conv, wt)?;
     dense_time += dense_cost(engine, 2 * (n * d) as u64);
     let filtered_original = unpermute_matrix(&m_hat, &filtered);
     let filtered_a1 = permute_matrix(&a1_csdb, &filtered_original);
     let mm = run(&a1_csdb, &filtered_a1)?;
     let mm_original = unpermute_matrix(&a1_csdb, &mm);
-    let embedding = dense_embedding(&mm_original)?;
+    let embedding = dense_embedding(&mm_original, wt)?;
     dense_time += dense_cost(engine, 12 * (n * d * d) as u64);
 
     Ok(ChebyshevResult {
@@ -173,9 +180,9 @@ pub fn propagate(
 
 /// ProNE's `get_embedding_dense`: SVD of the propagated matrix, scaled by
 /// √σ and L2-normalised per row.
-fn dense_embedding(mm: &DenseMatrix) -> Result<DenseMatrix> {
+fn dense_embedding(mm: &DenseMatrix, threads: usize) -> Result<DenseMatrix> {
     let d = mm.cols();
-    let svd = omega_linalg::svd_tall(mm)?;
+    let svd = svd_tall_threads(mm, threads)?;
     let mut u = svd.u.columns(0..d);
     for c in 0..d {
         let s = svd.s[c].max(0.0).sqrt();

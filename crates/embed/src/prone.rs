@@ -28,6 +28,12 @@ pub struct ProneConfig {
     /// Graph format whose reading cost the report charges: CSDB for OMeGa,
     /// CSR for the unmodified ProNE baselines (Fig. 19(a)).
     pub read_format: GraphFormat,
+    /// Wall-clock worker threads for the dense training kernels (blocked
+    /// GEMM, QR, SVD, Chebyshev term combination). Purely a speed knob:
+    /// embeddings, reports, sim clocks and metrics are bit-identical at
+    /// every value — the dense sim cost is charged analytically from the
+    /// *simulated* thread count in [`omega_spmm::SpmmConfig`].
+    pub threads: usize,
     pub seed: u64,
 }
 
@@ -40,6 +46,7 @@ impl Default for ProneConfig {
             lambda: 1.0,
             chebyshev: ChebyshevConfig::default(),
             read_format: GraphFormat::Csdb,
+            threads: 1,
             seed: 0x0e6a,
         }
     }
@@ -147,15 +154,21 @@ impl Prone {
             rank: self.cfg.dim,
             oversample: self.cfg.oversample,
             power_iters: self.cfg.power_iters,
+            threads: self.cfg.threads,
             seed: self.cfg.seed,
         };
         let fact = randomized_tsvd(&self.engine, &m, &mt, &tsvd_cfg)?;
         let initial = unpermute_matrix(&m, &fact.embedding);
         rec.end(fact_span, Some(fact.total_time()));
 
-        // Stage 2: spectral propagation.
+        // Stage 2: spectral propagation. The workspace-wide thread knob
+        // overrides whatever the Chebyshev sub-config carries.
         let prop_span = rec.begin("prone.propagate", Track::MAIN);
-        let prop = propagate(&self.engine, adj, &initial, &self.cfg.chebyshev)?;
+        let cheb_cfg = ChebyshevConfig {
+            threads: self.cfg.threads,
+            ..self.cfg.chebyshev
+        };
+        let prop = propagate(&self.engine, adj, &initial, &cheb_cfg)?;
         rec.end(prop_span, Some(prop.total_time()));
         rec.end(root, None);
 

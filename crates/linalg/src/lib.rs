@@ -6,18 +6,26 @@
 //!
 //! [`kernels`] holds the blocked, lane-unrolled f32 hot loops (dense dot,
 //! sparse gather-dot, batched scoring, row gather) shared by the serving
-//! scan, the embedding top-k and the SpMM accumulation step.
+//! scan, the embedding top-k and the SpMM accumulation step. [`par`] holds
+//! the deterministic parallel counterparts of the big dense routines
+//! (blocked GEMM/GEMM-TN, chunked axpy/scale, column-parallel QR and tall
+//! SVD), bit-identical to the sequential kernels at every thread count.
 
 pub mod gemm;
 pub mod kernels;
 pub mod matrix;
 pub mod ops;
+pub mod par;
 pub mod qr;
 pub mod random;
 pub mod svd;
 
 pub use gemm::{gemm, gemm_tn};
 pub use matrix::DenseMatrix;
+pub use par::{
+    axpy_threads, gemm_blocked, gemm_threads, gemm_tn_blocked, gemm_tn_threads, qr_thin_threads,
+    scale_threads, svd_tall_threads,
+};
 pub use qr::qr_thin;
 pub use random::gaussian_matrix;
 pub use svd::{svd_jacobi, svd_tall, Svd};

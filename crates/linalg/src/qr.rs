@@ -66,8 +66,10 @@ pub fn qr_thin(a: &DenseMatrix) -> Result<(DenseMatrix, DenseMatrix)> {
 }
 
 /// Apply `H = I − 2vvᵀ` (with `v` zero before `from`) to a vector in place.
+/// Shared with the parallel QR in [`crate::par`]: both paths transform each
+/// column with exactly this routine, which is what makes them bit-identical.
 #[inline]
-fn apply_reflector(v: &[f32], from: usize, x: &mut [f32]) {
+pub(crate) fn apply_reflector(v: &[f32], from: usize, x: &mut [f32]) {
     let mut proj = 0f32;
     for i in from..x.len() {
         proj += v[i] * x[i];

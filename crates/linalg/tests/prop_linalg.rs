@@ -1,6 +1,8 @@
 //! Property-based tests of the dense linear-algebra substrate.
 
-use omega_linalg::{gaussian_matrix, gemm, gemm_tn, qr_thin, svd_jacobi, DenseMatrix};
+use omega_linalg::{
+    gaussian_matrix, gemm, gemm_blocked, gemm_tn, gemm_tn_blocked, qr_thin, svd_jacobi, DenseMatrix,
+};
 use proptest::prelude::*;
 
 fn arb_tall() -> impl Strategy<Value = DenseMatrix> {
@@ -8,6 +10,28 @@ fn arb_tall() -> impl Strategy<Value = DenseMatrix> {
         let k = k.min(m);
         gaussian_matrix(m, k, seed)
     })
+}
+
+/// Ragged GEMM operand pairs: shapes deliberately include rows < threads,
+/// single rows/columns, and `k = 0` (empty inner dimension).
+fn arb_gemm_pair() -> impl Strategy<Value = (DenseMatrix, DenseMatrix)> {
+    (1usize..40, 0usize..12, 1usize..10, any::<u64>()).prop_map(|(m, k, n, seed)| {
+        (
+            gaussian_matrix(m, k, seed),
+            gaussian_matrix(k, n, seed.wrapping_add(1)),
+        )
+    })
+}
+
+fn assert_bits_equal(
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    prop_assert_eq!(a.shape(), b.shape());
+    for (x, y) in a.data().iter().zip(b.data()) {
+        prop_assert_eq!(x.to_bits(), y.to_bits(), "{} vs {}", x, y);
+    }
+    Ok(())
 }
 
 proptest! {
@@ -75,5 +99,31 @@ proptest! {
         z.axpy(2.0, &y).unwrap();
         z.axpy(-2.0, &y).unwrap();
         prop_assert!(z.max_abs_diff(&x) < 1e-4);
+    }
+
+    /// Blocked parallel GEMM is *bit-identical* to the sequential kernel for
+    /// every panel size and worker count, on ragged shapes too (rows fewer
+    /// than workers, k = 0): the partition covers only the output rows, so
+    /// each element's reduction order never changes.
+    #[test]
+    fn blocked_gemm_bit_identical((a, b) in arb_gemm_pair(),
+                                  panel in 1usize..64,
+                                  threads in (0usize..3).prop_map(|i| [1usize, 2, 8][i])) {
+        let seq = gemm(&a, &b).unwrap();
+        let par = gemm_blocked(&a, &b, threads, panel).unwrap();
+        assert_bits_equal(&seq, &par)?;
+    }
+
+    /// Same contract for GEMM-TN (AᵀB): output-column panels keep the full
+    /// k-reduction per element intact at every panel size and worker count.
+    #[test]
+    fn blocked_gemm_tn_bit_identical((a, c) in arb_gemm_pair(),
+                                     panel in 1usize..64,
+                                     threads in (0usize..3).prop_map(|i| [1usize, 2, 8][i])) {
+        // a is (m, k); pair it with a second (m, n) operand sharing rows.
+        let b = gaussian_matrix(a.rows(), c.cols(), 0xb10c);
+        let seq = gemm_tn(&a, &b).unwrap();
+        let par = gemm_tn_blocked(&a, &b, threads, panel).unwrap();
+        assert_bits_equal(&seq, &par)?;
     }
 }

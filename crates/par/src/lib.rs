@@ -1,0 +1,198 @@
+//! # omega-par — a tiny scoped work-stealing pool with a determinism contract
+//!
+//! One pool implementation shared by every parallel path in the workspace:
+//! per-shard serving tasks (`omega-serve`), SpMM column-batch workloads
+//! (`omega-spmm`), blocked dense kernels (`omega-linalg`), and walk-corpus
+//! generation (`omega-walk`).
+//!
+//! The parallelism contract is strict: worker threads may only *compute* —
+//! charge their own `omega_hetmem::ThreadMem` contexts, score rows, stage
+//! copies — while every effect on shared state (the simulated clock, the
+//! run ledger, the cache, the span stream) is applied by the caller in a
+//! deterministic merge order afterwards. This module supplies exactly that
+//! shape: [`run`]`(threads, n, f)` evaluates `f` on every index `0..n` and
+//! hands back the results **indexed by input position**, regardless of
+//! which worker ran what when.
+//!
+//! With `threads <= 1` (or a single task) the closure runs inline on the
+//! caller's thread, in index order — the same code path the parallel
+//! workers execute, so results are identical at every thread count by
+//! construction and the sequential configuration pays zero synchronisation.
+//!
+//! [`for_each_chunk`] is the in-place companion for element-wise kernels:
+//! it applies a closure to a list of disjoint mutable chunks (e.g.
+//! `chunks_mut` of a matrix buffer). Because the chunk boundaries are
+//! chosen by the caller — never by the thread count — and each element is
+//! touched by exactly one closure invocation, the result is bit-identical
+//! at every worker count there too.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Evaluate `f(scratch, i)` for every `i in 0..n` on up to `threads`
+/// workers and return the results in index order.
+///
+/// `S` is worker-local scratch (e.g. a score buffer): each worker
+/// materialises one `S::default()` and reuses it across every task it
+/// steals, so per-task allocations are amortised without sharing state.
+///
+/// Tasks are claimed from a shared atomic counter (work stealing by
+/// competition), which keeps workers busy when task costs are skewed —
+/// e.g. one cold shard retrying through a fault plan while the rest are
+/// cache hits. A panicking task propagates to the caller via the scope.
+pub fn run<T, S, F>(threads: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    S: Default + Send,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        let mut scratch = S::default();
+        return (0..n).map(|i| f(&mut scratch, i)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|| {
+                let mut scratch = S::default();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let out = f(&mut scratch, i);
+                    slots.lock().unwrap()[i] = Some(out);
+                }
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| slot.unwrap_or_else(|| panic!("task {i} produced no result")))
+        .collect()
+}
+
+/// Apply `f(chunk_index, chunk)` to every chunk of a pre-partitioned
+/// mutable buffer on up to `threads` workers.
+///
+/// The chunks must be disjoint (as produced by `chunks_mut`) and their
+/// boundaries must be chosen independently of `threads`; then each element
+/// is written by exactly one invocation of `f` operating on exactly the
+/// same data at every worker count, so the result is bit-identical to the
+/// sequential loop. Chunks are dealt to workers round-robin before
+/// spawning — element-wise kernels have uniform cost, so static assignment
+/// avoids any shared claim counter.
+pub fn for_each_chunk<T, F>(threads: usize, chunks: Vec<&mut [T]>, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let n = chunks.len();
+    if threads <= 1 || n <= 1 {
+        for (i, chunk) in chunks.into_iter().enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    let workers = threads.min(n);
+    let mut per_worker: Vec<Vec<(usize, &mut [T])>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, chunk) in chunks.into_iter().enumerate() {
+        per_worker[i % workers].push((i, chunk));
+    }
+    std::thread::scope(|scope| {
+        for mine in per_worker {
+            scope.spawn(|| {
+                for (i, chunk) in mine {
+                    f(i, chunk);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_index_ordered_at_every_thread_count() {
+        for threads in [0, 1, 2, 4, 8] {
+            let out: Vec<usize> = run(threads, 37, |_: &mut (), i| i * i);
+            assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn scratch_is_worker_local_and_reused() {
+        // Sequential path: one scratch serves all tasks in order.
+        let out: Vec<usize> = run(1, 5, |seen: &mut Vec<usize>, i| {
+            seen.push(i);
+            seen.len()
+        });
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+        // Parallel path: each worker's scratch only grows with its own
+        // tasks, so no task can observe more history than its position.
+        let out: Vec<usize> = run(4, 64, |seen: &mut Vec<usize>, i| {
+            seen.push(i);
+            seen.len()
+        });
+        for (i, &len) in out.iter().enumerate() {
+            assert!(len >= 1 && len <= i + 1);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let none: Vec<u32> = run(8, 0, |_: &mut (), _| unreachable!());
+        assert!(none.is_empty());
+        let one: Vec<u32> = run(8, 1, |_: &mut (), i| i as u32 + 41);
+        assert_eq!(one, vec![41]);
+    }
+
+    #[test]
+    fn skewed_task_costs_still_fill_every_slot() {
+        let out: Vec<u64> = run(3, 24, |_: &mut (), i| {
+            if i % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            i as u64
+        });
+        assert_eq!(out, (0..24).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunks_are_written_once_each_at_every_thread_count() {
+        for threads in [0, 1, 2, 4, 8] {
+            let mut data: Vec<u64> = (0..1000).collect();
+            let chunks: Vec<&mut [u64]> = data.chunks_mut(64).collect();
+            for_each_chunk(threads, chunks, |i, chunk| {
+                for v in chunk.iter_mut() {
+                    *v = v.wrapping_mul(3).wrapping_add(i as u64);
+                }
+            });
+            let expect: Vec<u64> = (0..1000u64)
+                .map(|v| v.wrapping_mul(3).wrapping_add(v / 64))
+                .collect();
+            assert_eq!(data, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn for_each_chunk_handles_empty_and_single() {
+        let mut empty: Vec<u8> = Vec::new();
+        let chunks: Vec<&mut [u8]> = empty.chunks_mut(8).collect();
+        for_each_chunk(8, chunks, |_, _| unreachable!());
+        let mut one = vec![1u8, 2, 3];
+        let chunks: Vec<&mut [u8]> = one.chunks_mut(8).collect();
+        for_each_chunk(8, chunks, |_, c| {
+            for v in c.iter_mut() {
+                *v += 1;
+            }
+        });
+        assert_eq!(one, vec![2, 3, 4]);
+    }
+}

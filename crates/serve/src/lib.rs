@@ -51,12 +51,15 @@
 //! ```
 
 mod cache;
-mod pool;
 mod server;
 mod store;
 mod workload;
 
 pub use cache::{HotCache, InsertOutcome};
+/// The scoped worker pool the per-shard batch work runs on. Re-exported
+/// from [`omega_par`] — one pool implementation serves the serving, SpMM,
+/// dense-kernel and walk paths alike.
+pub use omega_par as pool;
 pub use server::{BatchResult, EmbedServer, Response, ServeConfig, ServeReport, ServeStats};
 pub use store::ShardedStore;
 pub use workload::{Popularity, Request, RequestKind, RequestStream, WorkloadConfig};

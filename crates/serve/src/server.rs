@@ -20,8 +20,9 @@
 //! ## Parallelism
 //!
 //! Per-shard batch work — shard fetches, grouped point lookups, the
-//! per-shard legs of a top-k scan — runs on a scoped worker pool
-//! ([`crate::pool`]) sized by [`ServeConfig::threads`]. Worker tasks only
+//! per-shard legs of a top-k scan — runs on the workspace-shared scoped
+//! worker pool ([`omega_par`], re-exported as [`crate::pool`]) sized by
+//! [`ServeConfig::threads`]. Worker tasks only
 //! *compute*: each charges its own [`ThreadMem`] context (pinned to a
 //! deterministic fault stream derived from *what* it processes, never from
 //! which thread ran it) and returns an outcome struct. The caller then

@@ -26,7 +26,6 @@ use omega_obs::{Recorder, Track};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Which devices hold the operands (the paper's configurations).
@@ -292,6 +291,12 @@ pub struct SpmmEngine {
     sys: MemSystem,
     cfg: SpmmConfig,
     rec: Recorder,
+    /// Wall-clock worker threads for simulated-workload execution. Purely a
+    /// speed knob — workload count, fault salting and merge order are all
+    /// decided by data, so results are bit-identical at every value. Not
+    /// part of [`SpmmConfig`]: the config's `threads` is the *simulated*
+    /// thread count and feeds the cost model.
+    wall_threads: usize,
     /// Merged traffic of every [`Self::spmm`] call on this engine (shared
     /// across clones) — the run-level `AccessSummary` source.
     lifetime: Arc<Mutex<ClassCounters>>,
@@ -306,6 +311,9 @@ impl SpmmEngine {
             sys,
             cfg,
             rec: Recorder::disabled(),
+            wall_threads: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4),
             lifetime: Arc::new(Mutex::new(ClassCounters::default())),
         })
     }
@@ -316,6 +324,19 @@ impl SpmmEngine {
     pub fn with_recorder(mut self, rec: Recorder) -> Self {
         self.rec = rec;
         self
+    }
+
+    /// Set the wall-clock worker count the simulated workloads run on
+    /// (defaults to the machine's available parallelism). Bit-identical
+    /// results at every value; clamped to at least 1.
+    pub fn with_wall_threads(mut self, wall_threads: usize) -> Self {
+        self.wall_threads = wall_threads.max(1);
+        self
+    }
+
+    /// The wall-clock worker count simulated workloads run on.
+    pub fn wall_threads(&self) -> usize {
+        self.wall_threads
     }
 
     pub fn recorder(&self) -> &Recorder {
@@ -870,49 +891,30 @@ impl SpmmEngine {
             staging: staging_home,
             result: result_target,
         };
-        type WorkerSlot = Option<(Vec<f32>, KernelStats, ClassCounters, SimDuration, bool)>;
-        let slots: Mutex<Vec<WorkerSlot>> =
-            Mutex::new((0..workloads.len()).map(|_| None).collect());
-        let next = AtomicUsize::new(0);
-        let parallelism = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(4)
-            .min(workloads.len().max(1));
-
-        std::thread::scope(|scope| {
-            for _ in 0..parallelism {
-                scope.spawn(|| loop {
-                    let wi = next.fetch_add(1, Ordering::Relaxed);
-                    if wi >= workloads.len() {
-                        break;
-                    }
-                    let w = &workloads[wi];
-                    let mut ctx = self.ctx_for(group, w.thread);
-                    // Salt the context clock so an installed fault plan
-                    // draws independently per (batch, workload) — decided
-                    // by data, never by OS thread scheduling.
-                    ctx.set_sim_now(SimDuration::from_nanos(
-                        ((local_cols.start as u64) << 20) | wi as u64,
-                    ));
-                    let (block, stats) = run_workload(
-                        &inputs,
-                        w,
-                        local_cols.clone(),
-                        prefetchers[wi].as_ref(),
-                        &mut ctx,
-                    );
-                    let penalty = ctx.injected_penalty();
-                    let failed = ctx.take_fault().is_some();
-                    slots.lock()[wi] = Some((block, stats, ctx.take_counters(), penalty, failed));
-                });
-            }
-        });
-
-        slots
-            .into_inner()
-            .into_iter()
-            .map(|s| s.expect("every workload produced output"))
-            .collect()
+        // The shared workspace pool: workloads are claimed dynamically and
+        // results land in workload-index order, so wall parallelism never
+        // reorders the fixed-order merge downstream.
+        let threads = self.wall_threads.min(workloads.len().max(1));
+        omega_par::run(threads, workloads.len(), |_: &mut (), wi| {
+            let w = &workloads[wi];
+            let mut ctx = self.ctx_for(group, w.thread);
+            // Salt the context clock so an installed fault plan draws
+            // independently per (batch, workload) — decided by data, never
+            // by OS thread scheduling.
+            ctx.set_sim_now(SimDuration::from_nanos(
+                ((local_cols.start as u64) << 20) | wi as u64,
+            ));
+            let (block, stats) = run_workload(
+                &inputs,
+                w,
+                local_cols.clone(),
+                prefetchers[wi].as_ref(),
+                &mut ctx,
+            );
+            let penalty = ctx.injected_penalty();
+            let failed = ctx.take_fault().is_some();
+            (block, stats, ctx.take_counters(), penalty, failed)
+        })
     }
 }
 

@@ -125,6 +125,37 @@ impl<'g> InfoWalker<'g> {
         }
         walks
     }
+
+    /// Generate the adaptive corpus on the shared [`omega_par`] worker
+    /// pool. Identical output to [`InfoWalker::generate_all`] at every
+    /// worker count — per-walk seeding makes the index space freely
+    /// partitionable, and chunks merge in index order.
+    pub fn generate_all_parallel(&self, workers: usize) -> Vec<Vec<u32>> {
+        let n = self.graph.rows() as usize;
+        let total = n * self.cfg.walks_per_node;
+        let workers = workers.max(1).min(total.max(1));
+        let chunk = total.div_ceil(workers);
+        omega_par::run(workers, workers, |_: &mut (), w| {
+            let start = w * chunk;
+            let end = ((w + 1) * chunk).min(total);
+            (start..end)
+                .map(|idx| {
+                    let round = idx / n;
+                    let v = (idx % n) as u32;
+                    let mut rng = SmallRng::seed_from_u64(
+                        self.cfg
+                            .seed
+                            .wrapping_add((round as u64) << 32)
+                            .wrapping_add(v as u64),
+                    );
+                    self.walk_from(v, &mut rng)
+                })
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
 }
 
 #[cfg(test)]
@@ -188,6 +219,20 @@ mod tests {
         let g = RmatConfig::social(128, 600, 2).generate_csr().unwrap();
         let w = InfoWalker::new(&g, InfoWalkConfig::default());
         assert_eq!(w.generate_all(), w.generate_all());
+    }
+
+    #[test]
+    fn parallel_generation_matches_serial() {
+        let g = RmatConfig::social(150, 900, 8).generate_csr().unwrap();
+        let w = InfoWalker::new(&g, InfoWalkConfig::default());
+        let serial = w.generate_all();
+        for workers in [1, 2, 5, 16] {
+            assert_eq!(
+                w.generate_all_parallel(workers),
+                serial,
+                "{workers} workers"
+            );
+        }
     }
 
     #[test]

@@ -138,8 +138,8 @@ impl LineModel {
                     tvec[i] -= gscale * uvec[i];
                 }
             }
-            for i in 0..d {
-                self.vertex[u * d + i] -= grad_u[i];
+            for (i, g) in grad_u.iter().enumerate() {
+                self.vertex[u * d + i] -= g;
             }
         }
         (tail_loss / tail_n.max(1) as f64) as f32
@@ -153,7 +153,7 @@ impl LineModel {
 }
 
 /// Decorrelates the training RNG from the initialisation RNG.
-const TRAIN_SEED_TWEAK: u64 = 0x1111_e;
+const TRAIN_SEED_TWEAK: u64 = 0x0001_111e;
 
 #[cfg(test)]
 mod tests {

@@ -108,8 +108,8 @@ impl SgnsModel {
                     } else {
                         -((1.0 - p).max(1e-7).ln()) as f64
                     };
-                    for i in 0..d {
-                        grad_in[i] += g * self.output[t * d + i];
+                    for (i, gi) in grad_in.iter_mut().enumerate() {
+                        *gi += g * self.output[t * d + i];
                         self.output[t * d + i] -= g * self.input[center * d + i];
                     }
                 }

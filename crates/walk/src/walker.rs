@@ -84,11 +84,12 @@ impl<'g> Walker<'g> {
             if neigh.is_empty() {
                 break;
             }
-            let next = if self.cfg.is_biased() && prev.is_some() {
-                self.biased_step(prev.expect("checked"), neigh, weights, rng)
-            } else {
-                let t = self.tables[curr as usize].as_ref().expect("non-empty row");
-                neigh[t.sample(rng)]
+            let next = match prev {
+                Some(p) if self.cfg.is_biased() => self.biased_step(p, neigh, weights, rng),
+                _ => {
+                    let t = self.tables[curr as usize].as_ref().expect("non-empty row");
+                    neigh[t.sample(rng)]
+                }
             };
             walk.push(next);
             prev = Some(curr);
@@ -136,42 +137,36 @@ impl<'g> Walker<'g> {
         walks
     }
 
-    /// Generate the corpus on `workers` OS threads. Identical output to
-    /// [`Walker::generate_all`] (each walk's RNG is seeded independently,
-    /// so partitioning the walk index space is free).
+    /// Generate the corpus on the shared [`omega_par`] worker pool.
+    /// Identical output to [`Walker::generate_all`] at every worker count:
+    /// each walk's RNG is seeded from its `(round, node)` index, so
+    /// partitioning the walk index space is free, and chunks are merged in
+    /// index order.
     pub fn generate_all_parallel(&self, workers: usize) -> Vec<Vec<u32>> {
         let n = self.graph.rows() as usize;
         let total = n * self.cfg.walks_per_node;
         let workers = workers.max(1).min(total.max(1));
         let chunk = total.div_ceil(workers);
-        let mut out: Vec<Vec<Vec<u32>>> = Vec::with_capacity(workers);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|w| {
-                    let start = w * chunk;
-                    let end = ((w + 1) * chunk).min(total);
-                    scope.spawn(move || {
-                        (start..end)
-                            .map(|idx| {
-                                let round = idx / n;
-                                let v = (idx % n) as u32;
-                                let mut rng = SmallRng::seed_from_u64(
-                                    self.cfg
-                                        .seed
-                                        .wrapping_add((round as u64) << 32)
-                                        .wrapping_add(v as u64),
-                                );
-                                self.walk_from(v, &mut rng)
-                            })
-                            .collect::<Vec<_>>()
-                    })
+        omega_par::run(workers, workers, |_: &mut (), w| {
+            let start = w * chunk;
+            let end = ((w + 1) * chunk).min(total);
+            (start..end)
+                .map(|idx| {
+                    let round = idx / n;
+                    let v = (idx % n) as u32;
+                    let mut rng = SmallRng::seed_from_u64(
+                        self.cfg
+                            .seed
+                            .wrapping_add((round as u64) << 32)
+                            .wrapping_add(v as u64),
+                    );
+                    self.walk_from(v, &mut rng)
                 })
-                .collect();
-            for h in handles {
-                out.push(h.join().expect("walk worker must not panic"));
-            }
-        });
-        out.into_iter().flatten().collect()
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
     }
 
     /// Total steps a corpus would contain (for cost models).

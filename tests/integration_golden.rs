@@ -81,6 +81,71 @@ fn serve_metrics_with_threads(plan: Option<FaultPlanSpec>, threads: usize) -> St
     rec.metrics_jsonl()
 }
 
+/// One fixed-seed training (ProNE embed) run with `wall_threads` workers
+/// on both the SpMM workload pool and the dense kernels, optionally under
+/// an installed fault plan. Returns the full metrics JSONL export.
+fn prone_metrics_with_threads(plan: Option<FaultPlanSpec>, wall_threads: usize) -> String {
+    use omega_embed::prone::{Prone, ProneConfig};
+    use omega_spmm::{SpmmConfig, SpmmEngine};
+    let csr = RmatConfig::social(512, 4_000, 3).generate_csr().unwrap();
+    let sys = MemSystem::new(Topology::paper_machine_scaled(16 << 20));
+    let sys = match plan {
+        Some(spec) => install_plan(&sys, spec),
+        None => sys,
+    };
+    let rec = Recorder::enabled();
+    let engine = SpmmEngine::new(sys, SpmmConfig::omega(4))
+        .unwrap()
+        .with_recorder(rec.clone())
+        .with_wall_threads(wall_threads);
+    let prone = Prone::new(
+        engine,
+        ProneConfig {
+            dim: 8,
+            oversample: 8,
+            threads: wall_threads,
+            ..ProneConfig::default()
+        },
+    );
+    prone.embed(&csr).unwrap();
+    rec.metrics_jsonl()
+}
+
+/// A fixed-seed training run fanned out on an 8-thread worker pool across
+/// the SpMM workloads and the blocked dense kernels: freezes the parallel
+/// training path's observable surface. Wall workers partition only output
+/// panels and workload indices, so this snapshot is — by design —
+/// byte-identical to a sequential run, and the test pins that equality.
+#[test]
+fn parallel_prone_metrics_match_golden() {
+    let got = prone_metrics_with_threads(None, 8);
+    assert_golden("prone_metrics_parallel.jsonl", &got);
+    assert_eq!(
+        got,
+        prone_metrics_with_threads(None, 1),
+        "8-wall-thread training metrics drifted from the sequential run"
+    );
+}
+
+/// The same training run under a fixed fault plan: the injected schedule is
+/// keyed by (column batch, workload index), so retries and their simulated
+/// cost replay byte-identically at any wall-thread count.
+#[test]
+fn parallel_faulted_prone_metrics_match_golden() {
+    let spec = || FaultPlanSpec::new(1729).with_transient(DeviceKind::Pm, 0.05, 3_000);
+    let got = prone_metrics_with_threads(Some(spec()), 8);
+    assert!(
+        got.contains(r#""fault.injected""#),
+        "fault counters missing from training export"
+    );
+    assert_golden("prone_metrics_parallel_faulted.jsonl", &got);
+    assert_eq!(
+        got,
+        prone_metrics_with_threads(Some(spec()), 1),
+        "faulted 8-wall-thread training metrics drifted from the sequential run"
+    );
+}
+
 /// The serving path's metrics for one fixed-seed run, no faults.
 #[test]
 fn serve_metrics_match_golden() {
