@@ -6,7 +6,8 @@
 //! nanoseconds and byte traffic, and compares the wall numbers against the
 //! committed baselines `BENCH_serving.json` / `BENCH_spmm.json` /
 //! `BENCH_prone.json` at the repository root (schema per record:
-//! `{workload, wall_ns_p50, wall_ns_p95, sim_ns, bytes, git_rev}`).
+//! `{workload, wall_ns_p50, wall_ns_p95, sim_ns, bytes, git_rev}` plus
+//! optional `speedup_milli` and a nested `phases` breakdown).
 //!
 //! The two clocks play different roles:
 //!
@@ -25,12 +26,23 @@
 //! * `--smoke` — CI-friendly: two repeats, no baseline comparison (shared
 //!   runners are far noisier than 15%), but all determinism assertions
 //!   (sim/byte stability across repeats, serve-metrics byte-identity
-//!   across thread counts) still enforced.
+//!   across thread counts, and byte-identity with the pool profiler on
+//!   vs off) still enforced.
 //! * `--update` — rewrite the baseline files from this run.
+//! * `--profile-out <dir>` — write collapsed-stack (flamegraph) and
+//!   phase-breakdown text files for the par8 workloads into `<dir>`.
 //!
 //! The serving and training speedups (threads=1 vs threads=8 wall p50)
 //! are always *recorded* and printed, never asserted: single-core
 //! containers run this gate too, and there the ratio is legitimately ~1.
+//!
+//! Phase attribution: the par8 workloads additionally run once under an
+//! installed [`PoolProfiler`]. Per-label task wall time (phase scopes
+//! like `fetch`/`lookup`/`topk` or `propagate`/`tsvd`/`combine`, else
+//! pool call-site labels) plus aggregate worker `idle` and `barrier`
+//! wall time become the record's `phases` breakdown; the attributed sum
+//! must cover at least [`MIN_PHASE_COVERAGE`] of that run's wall clock.
+//! On a >15% regression the gate names the phase that grew most.
 
 use omega_bench::{
     gate_records_from_json, gate_records_to_json, git_rev, percentile_u64, GateRecord,
@@ -41,6 +53,7 @@ use omega_graph::{Csdb, RmatConfig};
 use omega_hetmem::{DeviceKind, MemSystem, Placement, Topology};
 use omega_linalg::gaussian_matrix;
 use omega_obs::{Recorder, Track};
+use omega_par::PoolProfiler;
 use omega_serve::{EmbedServer, Popularity, RequestStream, ServeConfig, WorkloadConfig};
 use omega_spmm::{SpmmConfig, SpmmEngine};
 use omega_walk::{InfoWalkConfig, InfoWalker};
@@ -71,6 +84,9 @@ const PRONE_EDGES: u64 = 15_000;
 const PRONE_DIM: usize = 32;
 /// Regression threshold on wall p50 vs. the committed baseline.
 const MAX_REGRESSION: f64 = 1.15;
+/// The phase breakdown of a par8 workload must attribute at least this
+/// fraction of the profiled run's wall clock (task + idle + barrier).
+const MIN_PHASE_COVERAGE: f64 = 0.90;
 
 fn repo_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
@@ -108,8 +124,9 @@ fn serving_run(threads: usize) -> Sample {
     }
 }
 
-/// Serve metrics export at a thread count — the smoke determinism probe.
-fn serving_metrics(threads: usize) -> String {
+/// Recorder-enabled serving run at a thread count: the smoke determinism
+/// probe (via `metrics_jsonl`) and the `--profile-out` span source.
+fn serving_traced(threads: usize) -> Recorder {
     let emb = Embedding::from_matrix(&gaussian_matrix(NODES as usize, DIM, SEED));
     let shard_bytes = ROWS_PER_SHARD as u64 * DIM as u64 * 4;
     let sys = MemSystem::new(Topology::paper_machine_scaled(
@@ -128,7 +145,11 @@ fn serving_metrics(threads: usize) -> String {
             .with_topk(TOPK_FRACTION, TOPK_K),
     );
     srv.run(&mut load, REQUESTS / 4);
-    rec.metrics_jsonl()
+    rec
+}
+
+fn serving_metrics(threads: usize) -> String {
+    serving_traced(threads).metrics_jsonl()
 }
 
 fn spmm_run() -> Sample {
@@ -196,9 +217,10 @@ fn prone_run(wall_threads: usize) -> Sample {
     }
 }
 
-/// Training metrics export at a wall-thread count — the smoke determinism
-/// probe for the training path.
-fn prone_metrics(wall_threads: usize) -> String {
+/// Recorder-enabled training run at a wall-thread count: the smoke
+/// determinism probe for the training path and the `--profile-out`
+/// span source.
+fn prone_traced(wall_threads: usize) -> Recorder {
     let csr = RmatConfig::social(PRONE_NODES, PRONE_EDGES, SEED)
         .generate_csr()
         .unwrap();
@@ -218,7 +240,116 @@ fn prone_metrics(wall_threads: usize) -> String {
         },
     );
     prone.embed(&csr).unwrap();
-    rec.metrics_jsonl()
+    rec
+}
+
+fn prone_metrics(wall_threads: usize) -> String {
+    prone_traced(wall_threads).metrics_jsonl()
+}
+
+/// Run a workload once with a [`PoolProfiler`] installed on this thread
+/// and fold the per-label profiles into a phase breakdown: task wall
+/// time per phase-scope / call-site label, plus aggregate worker `idle`
+/// and `barrier` wall time. Returns `(phases, attributed_ns, wall_ns)`.
+fn profiled_phases(run: impl FnOnce() -> Sample) -> (Vec<(String, u64)>, u64, u64) {
+    let prof = PoolProfiler::enabled();
+    let wall_ns = {
+        let _guard = omega_par::install(&prof);
+        run().wall_ns
+    };
+    let mut phases = Vec::new();
+    let mut idle = 0u64;
+    let mut barrier = 0u64;
+    let mut attributed = 0u64;
+    for (label, p) in prof.profiles() {
+        let task = p.task_wall_ns();
+        idle += p.idle_wall_ns;
+        barrier += p.barrier_wall_ns;
+        attributed += p.attributed_wall_ns();
+        if task > 0 {
+            phases.push((label, task));
+        }
+    }
+    if barrier > 0 {
+        phases.push(("barrier".to_string(), barrier));
+    }
+    if idle > 0 {
+        phases.push(("idle".to_string(), idle));
+    }
+    phases.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    (phases, attributed, wall_ns)
+}
+
+/// Attach a profiled-run phase breakdown to `rec` and print it. When
+/// `enforce` is set (the par8 workloads), the attributed share of the
+/// profiled run's wall clock must clear [`MIN_PHASE_COVERAGE`].
+fn attribute(rec: &mut GateRecord, enforce: bool, run: impl FnOnce() -> Sample) {
+    let (phases, attributed, wall_ns) = profiled_phases(run);
+    let coverage = attributed as f64 / wall_ns.max(1) as f64;
+    println!(
+        "  {} phase breakdown (profiled run: {} ns wall, {:.1}% attributed):",
+        rec.workload,
+        wall_ns,
+        coverage * 100.0
+    );
+    for (name, ns) in &phases {
+        println!(
+            "    {:<18} {:>12} ns  {:>5.1}%",
+            name,
+            ns,
+            *ns as f64 * 100.0 / wall_ns.max(1) as f64
+        );
+    }
+    if enforce {
+        assert!(
+            coverage >= MIN_PHASE_COVERAGE,
+            "{}: phase attribution covers only {:.1}% of the profiled wall clock \
+             (floor {:.0}%)",
+            rec.workload,
+            coverage * 100.0,
+            MIN_PHASE_COVERAGE * 100.0
+        );
+    }
+    rec.phases = phases;
+}
+
+/// Seq-vs-par wall-p50 ratio in thousandths, recorded on the parallel
+/// record of a workload pair (informational, never asserted).
+fn record_speedup(pair: &mut [GateRecord]) -> f64 {
+    let ratio_milli = pair[0]
+        .wall_ns_p50
+        .saturating_mul(1000)
+        .checked_div(pair[1].wall_ns_p50.max(1))
+        .unwrap_or(0);
+    pair[1].speedup_milli = Some(ratio_milli);
+    ratio_milli as f64 / 1000.0
+}
+
+/// Write flamegraph-compatible collapsed stacks (span tree plus the
+/// bridged per-worker pool timelines) and the phase breakdown for one
+/// par8 workload into `dir`.
+fn write_profile_artifacts(dir: &Path, rec: &GateRecord, traced: impl FnOnce() -> Recorder) {
+    let prof = PoolProfiler::enabled();
+    let recorder = {
+        let _guard = omega_par::install(&prof);
+        traced()
+    };
+    // Pool worker timelines land on their own pid so Perfetto and the
+    // collapsed view keep them apart from the simulated tracks.
+    omega_obs::record_pool_timeline(&recorder, &prof, 1);
+    let collapsed = dir.join(format!("{}.collapsed", rec.workload));
+    std::fs::write(&collapsed, recorder.collapsed_stacks()).unwrap();
+    let mut breakdown = String::new();
+    for (name, ns) in &rec.phases {
+        breakdown.push_str(&format!("{name} {ns}\n"));
+    }
+    let phases_path = dir.join(format!("{}.phases.txt", rec.workload));
+    std::fs::write(&phases_path, breakdown).unwrap();
+    println!(
+        "  wrote {} and {}",
+        collapsed.display(),
+        phases_path.display()
+    );
 }
 
 /// Repeat a workload, enforce sim/byte determinism across repeats, and
@@ -247,6 +378,8 @@ fn measure(workload: &str, repeats: usize, rev: &str, run: impl Fn() -> Sample) 
         sim_ns: first.sim_ns,
         bytes: first.bytes,
         git_rev: rev.to_string(),
+        speedup_milli: None,
+        phases: Vec::new(),
     };
     println!(
         "  {:<14} wall p50 {:>12} ns  p95 {:>12} ns  sim {:>14} ns  {:>12} B",
@@ -285,6 +418,12 @@ fn compare(path: &Path, fresh: &[GateRecord]) -> usize {
                 "  {}: REGRESSION wall p50 {} ns vs baseline {} ns ({:.2}x > {:.2}x allowed)",
                 rec.workload, rec.wall_ns_p50, base.wall_ns_p50, ratio, MAX_REGRESSION
             );
+            match rec.guiltiest_phase(base) {
+                Some((phase, was, now)) => {
+                    println!("    guiltiest phase: {phase} grew {was} -> {now} ns attributed wall")
+                }
+                None => println!("    no phase breakdown recorded for this workload"),
+            }
             regressions += 1;
         } else {
             println!(
@@ -313,13 +452,26 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse::<usize>().ok())
         .unwrap_or(if smoke { 2 } else { 7 });
-    for a in &args {
-        if !matches!(a.as_str(), "--smoke" | "--update" | "--repeats")
-            && a.parse::<usize>().is_err()
-        {
-            eprintln!("unknown flag {a}; usage: bench_gate [--smoke] [--update] [--repeats N]");
-            std::process::exit(2);
+    let profile_out = args
+        .iter()
+        .position(|a| a == "--profile-out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" | "--update" => {}
+            // Flags that consume the next argument as their value.
+            "--repeats" | "--profile-out" => i += 1,
+            other => {
+                eprintln!(
+                    "unknown flag {other}; usage: bench_gate [--smoke] [--update] \
+                     [--repeats N] [--profile-out DIR]"
+                );
+                std::process::exit(2);
+            }
         }
+        i += 1;
     }
 
     let rev = git_rev();
@@ -329,7 +481,7 @@ fn main() {
     );
 
     println!("serving workloads:");
-    let serving = vec![
+    let mut serving = vec![
         measure("serving_seq", repeats, &rev, || serving_run(1)),
         measure("serving_par8", repeats, &rev, || serving_run(8)),
     ];
@@ -342,11 +494,12 @@ fn main() {
         serving[0].bytes, serving[1].bytes,
         "thread count changed the byte traffic"
     );
-    let speedup = serving[0].wall_ns_p50 as f64 / serving[1].wall_ns_p50.max(1) as f64;
+    let speedup = record_speedup(&mut serving);
     println!(
         "  serving wall speedup at 8 threads: {speedup:.2}x \
          (recorded, not asserted — 1 on single-core machines)"
     );
+    attribute(&mut serving[1], true, || serving_run(8));
 
     println!("compute workloads:");
     let compute = vec![
@@ -355,7 +508,7 @@ fn main() {
     ];
 
     println!("training workloads:");
-    let training = vec![
+    let mut training = vec![
         measure("prone_seq", repeats, &rev, || prone_run(1)),
         measure("prone_par8", repeats, &rev, || prone_run(8)),
     ];
@@ -368,11 +521,19 @@ fn main() {
         training[0].bytes, training[1].bytes,
         "wall-thread count changed the training byte traffic"
     );
-    let train_speedup = training[0].wall_ns_p50 as f64 / training[1].wall_ns_p50.max(1) as f64;
+    let train_speedup = record_speedup(&mut training);
     println!(
         "  training wall speedup at 8 threads: {train_speedup:.2}x \
          (recorded, not asserted — 1 on single-core machines)"
     );
+    attribute(&mut training[1], true, || prone_run(8));
+
+    if let Some(dir) = &profile_out {
+        std::fs::create_dir_all(dir).unwrap();
+        println!("profile artifacts ({}):", dir.display());
+        write_profile_artifacts(dir, &serving[1], || serving_traced(8));
+        write_profile_artifacts(dir, &training[1], || prone_traced(8));
+    }
 
     if smoke {
         // Byte-identity of the full metrics export across thread counts —
@@ -391,11 +552,38 @@ fn main() {
             "training metrics JSONL differs between 1 and 8 wall threads"
         );
         assert!(!train_seq.is_empty());
+        // Profiling must be invisible to every simulated observable: the
+        // metrics export with the pool profiler installed is byte-equal
+        // to the export without it.
+        let prof = PoolProfiler::enabled();
+        let par_profiled = {
+            let _guard = omega_par::install(&prof);
+            serving_metrics(8)
+        };
+        assert_eq!(
+            par, par_profiled,
+            "pool profiling changed the serve metrics JSONL"
+        );
+        let train_profiled = {
+            let _guard = omega_par::install(&prof);
+            prone_metrics(8)
+        };
+        assert_eq!(
+            train_par, train_profiled,
+            "pool profiling changed the training metrics JSONL"
+        );
+        assert!(
+            prof.total().calls + prof.total().seq_calls > 0,
+            "profiled smoke runs recorded no pool activity"
+        );
         // Schema round-trip of everything we would write.
         for recs in [&serving, &compute, &training] {
             assert_eq!(&gate_records_from_json(&gate_records_to_json(recs)), recs);
         }
-        println!("smoke checks passed: metrics byte-identical across threads, schema round-trips");
+        println!(
+            "smoke checks passed: metrics byte-identical across threads and with \
+             profiling on/off, schema round-trips"
+        );
     }
 
     let serving_path = repo_root().join("BENCH_serving.json");

@@ -139,7 +139,10 @@ pub fn git_rev() -> String {
 
 /// One benchmark-gate measurement: a workload's wall-clock percentiles
 /// (machine-dependent), its simulated time and byte traffic (exact,
-/// machine-independent), and the revision it was taken at.
+/// machine-independent), the revision it was taken at, plus informational
+/// wall-clock attribution — the seq-vs-parN speedup (in thousandths, so
+/// the record stays `Eq`; 850 reads as 0.85x) and a phase breakdown
+/// (label → attributed wall ns) from one profiled run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GateRecord {
     pub workload: String,
@@ -148,6 +151,26 @@ pub struct GateRecord {
     pub sim_ns: u64,
     pub bytes: u64,
     pub git_rev: String,
+    pub speedup_milli: Option<u64>,
+    pub phases: Vec<(String, u64)>,
+}
+
+impl GateRecord {
+    /// The phase whose attributed wall time grew most versus `baseline`
+    /// (the "guilty" phase of a regression), with old and new ns.
+    pub fn guiltiest_phase(&self, baseline: &GateRecord) -> Option<(String, u64, u64)> {
+        self.phases
+            .iter()
+            .map(|(name, now)| {
+                let was = baseline
+                    .phases
+                    .iter()
+                    .find(|(b, _)| b == name)
+                    .map_or(0, |(_, v)| *v);
+                (name.clone(), was, *now)
+            })
+            .max_by_key(|(_, was, now)| now.saturating_sub(*was))
+    }
 }
 
 /// Serialise gate records as a JSON array, one object per line (the
@@ -158,23 +181,77 @@ pub fn gate_records_to_json(records: &[GateRecord]) -> String {
     for (i, r) in records.iter().enumerate() {
         out.push_str(&format!(
             "  {{\"workload\": \"{}\", \"wall_ns_p50\": {}, \"wall_ns_p95\": {}, \
-             \"sim_ns\": {}, \"bytes\": {}, \"git_rev\": \"{}\"}}{}\n",
-            r.workload,
-            r.wall_ns_p50,
-            r.wall_ns_p95,
-            r.sim_ns,
-            r.bytes,
-            r.git_rev,
-            if i + 1 < records.len() { "," } else { "" },
+             \"sim_ns\": {}, \"bytes\": {}, \"git_rev\": \"{}\"",
+            r.workload, r.wall_ns_p50, r.wall_ns_p95, r.sim_ns, r.bytes, r.git_rev,
+        ));
+        if let Some(speedup) = r.speedup_milli {
+            out.push_str(&format!(", \"speedup_milli\": {speedup}"));
+        }
+        if !r.phases.is_empty() {
+            out.push_str(", \"phases\": {");
+            for (j, (name, ns)) in r.phases.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("\"{name}\": {ns}"));
+            }
+            out.push('}');
+        }
+        out.push_str(&format!(
+            "}}{}\n",
+            if i + 1 < records.len() { "," } else { "" }
         ));
     }
     out.push_str("]\n");
     out
 }
 
+/// Split a JSON-ish document into its top-level `{...}` object slices,
+/// tracking brace depth (and strings) so nested objects — the `phases`
+/// breakdown — stay inside their record.
+fn top_level_objects(s: &str) -> Vec<&str> {
+    let mut objects = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in s.char_indices() {
+        if in_string {
+            match c {
+                '\\' if !escaped => escaped = true,
+                '"' if !escaped => in_string = false,
+                _ => escaped = false,
+            }
+            if c != '\\' {
+                escaped = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' => {
+                if depth == 0 {
+                    start = i;
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    objects.push(&s[start..=i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    objects
+}
+
 /// Parse the `BENCH_*.json` format back. Tolerant field-scanner rather
-/// than a general JSON parser: objects are split on braces and each known
-/// key extracted positionally; unknown keys are ignored.
+/// than a general JSON parser: objects are split on (depth-tracked)
+/// braces and each known key extracted positionally; unknown keys are
+/// ignored, and records written before the `speedup_milli`/`phases`
+/// fields existed load with those fields empty.
 pub fn gate_records_from_json(s: &str) -> Vec<GateRecord> {
     fn str_field(obj: &str, key: &str) -> Option<String> {
         let at = obj.find(&format!("\"{key}\""))?;
@@ -195,13 +272,41 @@ pub fn gate_records_from_json(s: &str) -> Vec<GateRecord> {
             .collect();
         digits.parse().ok()
     }
-    let mut records = Vec::new();
-    let mut rest = s;
-    while let Some(open) = rest.find('{') {
-        let Some(close) = rest[open..].find('}') else {
-            break;
+    type PhasesField = (Vec<(String, u64)>, Option<(usize, usize)>);
+    fn phases_field(obj: &str) -> PhasesField {
+        let Some(at) = obj.find("\"phases\"") else {
+            return (Vec::new(), None);
         };
-        let obj = &rest[open..open + close + 1];
+        let Some(open_rel) = obj[at..].find('{') else {
+            return (Vec::new(), None);
+        };
+        let open = at + open_rel;
+        let Some(close_rel) = obj[open..].find('}') else {
+            return (Vec::new(), None);
+        };
+        let inner = &obj[open + 1..open + close_rel];
+        let mut phases = Vec::new();
+        for part in inner.split(',') {
+            let Some((k, v)) = part.split_once(':') else {
+                continue;
+            };
+            let name = k.trim().trim_matches('"').to_string();
+            if let Ok(ns) = v.trim().parse::<u64>() {
+                phases.push((name, ns));
+            }
+        }
+        (phases, Some((at, open + close_rel + 1)))
+    }
+    let mut records = Vec::new();
+    for obj in top_level_objects(s) {
+        // Strip the nested phases object before scanning scalar fields so
+        // a phase can never shadow a record key.
+        let (phases, phases_span) = phases_field(obj);
+        let scalars = match phases_span {
+            Some((a, b)) => format!("{}{}", &obj[..a], &obj[b..]),
+            None => obj.to_string(),
+        };
+        let obj = scalars.as_str();
         if let (Some(workload), Some(p50), Some(p95), Some(sim), Some(bytes)) = (
             str_field(obj, "workload"),
             u64_field(obj, "wall_ns_p50"),
@@ -216,9 +321,10 @@ pub fn gate_records_from_json(s: &str) -> Vec<GateRecord> {
                 sim_ns: sim,
                 bytes,
                 git_rev: str_field(obj, "git_rev").unwrap_or_default(),
+                speedup_milli: u64_field(obj, "speedup_milli"),
+                phases,
             });
         }
-        rest = &rest[open + close + 1..];
     }
     records
 }
@@ -283,8 +389,18 @@ mod tests {
         assert_eq!(percentile_u64(&samples, 0.5), 30);
         assert_eq!(percentile_u64(&samples, 0.95), 50);
         assert_eq!(percentile_u64(&samples, 0.0), 10);
+        assert_eq!(percentile_u64(&samples, 1.0), 50);
+        // Edge cases: empty, single-sample, and all-equal inputs.
         assert_eq!(percentile_u64(&[], 0.5), 0);
+        assert_eq!(percentile_u64(&[], 0.0), 0);
+        assert_eq!(percentile_u64(&[], 1.0), 0);
+        assert_eq!(percentile_u64(&[7], 0.0), 7);
         assert_eq!(percentile_u64(&[7], 0.5), 7);
+        assert_eq!(percentile_u64(&[7], 1.0), 7);
+        let equal = [9u64; 17];
+        for q in [0.0, 0.25, 0.5, 0.95, 1.0] {
+            assert_eq!(percentile_u64(&equal, q), 9);
+        }
     }
 
     #[test]
@@ -297,19 +413,32 @@ mod tests {
                 sim_ns: 42,
                 bytes: 99,
                 git_rev: "abc1234".into(),
+                speedup_milli: None,
+                phases: Vec::new(),
             },
             GateRecord {
-                workload: "spmm".into(),
+                workload: "serving_par8".into(),
                 wall_ns_p50: 5,
                 wall_ns_p95: 6,
                 sim_ns: 7,
                 bytes: 8,
                 git_rev: "unknown".into(),
+                speedup_milli: Some(3_250),
+                phases: vec![
+                    ("fetch".into(), 100),
+                    ("lookup".into(), 200),
+                    ("topk".into(), 50),
+                    ("barrier".into(), 25),
+                ],
             },
         ];
         let json = gate_records_to_json(&records);
         assert!(json.starts_with("[\n"));
         assert!(json.contains(r#""workload": "serving_seq""#));
+        assert!(json.contains(r#""speedup_milli": 3250"#));
+        assert!(json.contains(r#""phases": {"fetch": 100, "lookup": 200"#));
+        // The record without phases must not gain empty trailing fields.
+        assert!(json.contains("\"git_rev\": \"abc1234\"}"));
         assert_eq!(gate_records_from_json(&json), records);
         // Tolerates reformatting and unknown keys.
         let loose = json
@@ -318,6 +447,44 @@ mod tests {
         assert_eq!(gate_records_from_json(&loose), records);
         assert!(gate_records_from_json("[]").is_empty());
         assert!(gate_records_from_json("not json").is_empty());
+        // Pre-attribution baselines (no speedup/phases fields) still load.
+        let legacy = r#"[
+  {"workload": "spmm", "wall_ns_p50": 5, "wall_ns_p95": 6, "sim_ns": 7, "bytes": 8, "git_rev": "unknown"}
+]"#;
+        let parsed = gate_records_from_json(legacy);
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].speedup_milli, None);
+        assert!(parsed[0].phases.is_empty());
+    }
+
+    #[test]
+    fn guiltiest_phase_names_largest_delta() {
+        let mk = |phases: Vec<(&str, u64)>| GateRecord {
+            workload: "w".into(),
+            wall_ns_p50: 0,
+            wall_ns_p95: 0,
+            sim_ns: 0,
+            bytes: 0,
+            git_rev: String::new(),
+            speedup_milli: None,
+            phases: phases
+                .into_iter()
+                .map(|(n, v)| (n.to_string(), v))
+                .collect(),
+        };
+        let base = mk(vec![("fetch", 100), ("lookup", 200), ("topk", 50)]);
+        let now = mk(vec![("fetch", 110), ("lookup", 500), ("topk", 55)]);
+        assert_eq!(
+            now.guiltiest_phase(&base),
+            Some(("lookup".into(), 200, 500))
+        );
+        // A phase absent from the baseline counts as growth from zero.
+        let now2 = mk(vec![("fetch", 100), ("barrier", 400)]);
+        assert_eq!(
+            now2.guiltiest_phase(&base),
+            Some(("barrier".into(), 0, 400))
+        );
+        assert_eq!(mk(vec![]).guiltiest_phase(&base), None);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //!                   [--threads 30] [--wall-threads 1] [--mode hetero|dram|pm]
 //!                   [--no-wofp] [--no-nadp] [--no-asl]
 //!                   [--trace-out trace.json] [--metrics-out metrics.jsonl]
+//!                   [--profile-out stacks.collapsed]
 //! omega-cli generate --nodes 10000 --edges 200000 --seed 7 --output g.txt
 //! omega-cli stats   --input graph.txt
 //! omega-cli serve   --requests 10000 --zipf 1.0 [--input emb.txt]
@@ -13,11 +14,21 @@
 //!                   [--cold pm|ssd] [--topk-fraction 0.0] [--k 10]
 //!                   [--no-admission] [--fault-plan plan.txt]
 //!                   [--trace-out trace.json] [--metrics-out metrics.jsonl]
+//!                   [--profile-out stacks.collapsed]
+//! omega-cli profile --input trace.json [--top 20]
 //! ```
 //!
 //! `--trace-out` writes a Chrome-trace-event JSON of the run's simulated
 //! timeline (load it in Perfetto / `chrome://tracing`); `--metrics-out`
-//! writes one JSON metric per line.
+//! writes one JSON metric per line. `--profile-out` additionally turns on
+//! worker-pool wall-clock profiling for the run and writes
+//! flamegraph-compatible collapsed stacks (`path;leaf self_wall_us` per
+//! line — pipe into `flamegraph.pl` or inferno); the pool's per-worker
+//! timelines ride along on their own pid in `--trace-out` when both are
+//! given. Profiling is wall-clock-only: simulated time and metrics output
+//! are byte-identical with it on or off. `profile` re-reads a saved
+//! `--trace-out` file and prints the span profile as a table sorted by
+//! self wall time.
 //!
 //! Arguments are parsed by hand (the workspace stays dependency-light).
 
@@ -46,6 +57,7 @@ const USAGE: &str = "usage:
                      [--threads N] [--wall-threads W] [--mode hetero|dram|pm]
                      [--no-wofp] [--no-nadp] [--no-asl]
                      [--trace-out <file>] [--metrics-out <file>]
+                     [--profile-out <file>]
   omega-cli generate --nodes N --edges M [--seed S] --output <file>
   omega-cli stats    --input <edge-list>
   omega-cli serve    --requests N [--zipf S | --uniform] [--input <emb>]
@@ -54,7 +66,9 @@ const USAGE: &str = "usage:
                      [--cache-shards C] [--batch B] [--cold pm|ssd]
                      [--topk-fraction F] [--k K] [--no-admission]
                      [--fault-plan <file>]
-                     [--trace-out <file>] [--metrics-out <file>]";
+                     [--trace-out <file>] [--metrics-out <file>]
+                     [--profile-out <file>]
+  omega-cli profile  --input <trace.json> [--top N]";
 
 /// Parsed `--key value` / `--flag` arguments.
 struct Opts {
@@ -113,8 +127,23 @@ fn run(args: &[String]) -> Result<(), String> {
         "generate" => generate(&opts),
         "stats" => stats(&opts),
         "serve" => serve(&opts),
+        "profile" => profile(&opts),
         other => Err(format!("unknown command {other:?}")),
     }
+}
+
+/// Shared `--profile-out` back end: bridge the pool profiler's per-worker
+/// timelines onto the recorder (their own pid keeps them apart from the
+/// simulated tracks) and write flamegraph-compatible collapsed stacks.
+fn write_collapsed(
+    path: &str,
+    rec: &Recorder,
+    prof: &omega::par::PoolProfiler,
+) -> Result<(), String> {
+    omega::obs::record_pool_timeline(rec, prof, 1);
+    std::fs::write(path, rec.collapsed_stacks()).map_err(|e| format!("writing {path}: {e}"))?;
+    eprintln!("wrote collapsed stacks {path} (flamegraph.pl / inferno compatible)");
+    Ok(())
 }
 
 fn load_graph(path: &str) -> Result<Csr, String> {
@@ -157,6 +186,7 @@ fn embed(opts: &Opts) -> Result<(), String> {
 
     let trace_out = opts.values.get("trace-out").cloned();
     let metrics_out = opts.values.get("metrics-out").cloned();
+    let profile_out = opts.values.get("profile-out").cloned();
 
     let graph = load_graph(input)?;
     eprintln!(
@@ -169,25 +199,36 @@ fn embed(opts: &Opts) -> Result<(), String> {
         .with_threads(threads)
         .with_wall_threads(wall_threads)
         .with_variant(variant);
-    let rec = if trace_out.is_some() || metrics_out.is_some() {
+    let rec = if trace_out.is_some() || metrics_out.is_some() || profile_out.is_some() {
         Recorder::enabled()
     } else {
         Recorder::disabled()
     };
+    let prof = if profile_out.is_some() {
+        omega::par::PoolProfiler::enabled()
+    } else {
+        omega::par::PoolProfiler::disabled()
+    };
     let omega = Omega::new(cfg)
         .map_err(|e| e.to_string())?
         .with_recorder(rec.clone());
-    let run = omega.embed(&graph).map_err(|e| {
-        if e.is_oom() {
-            format!("simulated machine out of memory in {mode} mode: {e}")
-        } else {
-            e.to_string()
-        }
-    })?;
+    let run = {
+        let _guard = omega::par::install(&prof);
+        omega.embed(&graph).map_err(|e| {
+            if e.is_oom() {
+                format!("simulated machine out of memory in {mode} mode: {e}")
+            } else {
+                e.to_string()
+            }
+        })?
+    };
     eprintln!("{}", run.summary());
     std::fs::write(&output, run.embedding.to_text())
         .map_err(|e| format!("writing {output}: {e}"))?;
     eprintln!("wrote {output}");
+    if let Some(path) = profile_out {
+        write_collapsed(&path, &rec, &prof)?;
+    }
     if let Some(path) = trace_out {
         std::fs::write(&path, rec.chrome_trace_json())
             .map_err(|e| format!("writing {path}: {e}"))?;
@@ -283,10 +324,16 @@ fn serve(opts: &Opts) -> Result<(), String> {
 
     let trace_out = opts.values.get("trace-out").cloned();
     let metrics_out = opts.values.get("metrics-out").cloned();
-    let rec = if trace_out.is_some() || metrics_out.is_some() {
+    let profile_out = opts.values.get("profile-out").cloned();
+    let rec = if trace_out.is_some() || metrics_out.is_some() || profile_out.is_some() {
         Recorder::enabled()
     } else {
         Recorder::disabled()
+    };
+    let prof = if profile_out.is_some() {
+        omega::par::PoolProfiler::enabled()
+    } else {
+        omega::par::PoolProfiler::disabled()
     };
 
     let mut srv = EmbedServer::new(&sys, &emb, cfg)
@@ -295,7 +342,10 @@ fn serve(opts: &Opts) -> Result<(), String> {
     let mut load = RequestStream::new(
         WorkloadConfig::lookups(emb.nodes(), popularity, seed).with_topk(topk_fraction, k),
     );
-    let report = srv.run(&mut load, requests);
+    let report = {
+        let _guard = omega::par::install(&prof);
+        srv.run(&mut load, requests)
+    };
 
     let st = &report.stats;
     println!("requests          {}", st.requests);
@@ -340,6 +390,9 @@ fn serve(opts: &Opts) -> Result<(), String> {
         report.wall_percentile_us(0.99)
     );
 
+    if let Some(path) = profile_out {
+        write_collapsed(&path, &rec, &prof)?;
+    }
     if let Some(path) = trace_out {
         std::fs::write(&path, rec.chrome_trace_json())
             .map_err(|e| format!("writing {path}: {e}"))?;
@@ -348,6 +401,90 @@ fn serve(opts: &Opts) -> Result<(), String> {
     if let Some(path) = metrics_out {
         std::fs::write(&path, rec.metrics_jsonl()).map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!("wrote metrics {path}");
+    }
+    Ok(())
+}
+
+/// Re-read a saved `--trace-out` chrome trace and print its span profile
+/// as a table sorted by self wall time. The exporter embeds the exact
+/// dual-clock numbers (`sim_*_ns` / `wall_*_us` / `depth`) in every X
+/// event's args, so the profile here matches what `Recorder::profile`
+/// reported at run time.
+fn profile(opts: &Opts) -> Result<(), String> {
+    let input = opts.require("input")?;
+    let top: usize = opts.get_or("top", 0)?;
+    let text = std::fs::read_to_string(input).map_err(|e| format!("reading {input}: {e}"))?;
+    let doc = omega::obs::json::parse(&text).map_err(|e| format!("{input}: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_seq())
+        .ok_or_else(|| format!("{input}: not a chrome trace (no traceEvents array)"))?;
+    // Event order is the recorder's completion order, which the profile
+    // tree walk depends on.
+    let mut spans = Vec::new();
+    for ev in events {
+        if ev.get("ph").and_then(|v| v.as_str()) != Some("X") {
+            continue;
+        }
+        let field = |key: &str| {
+            ev.get("args")
+                .and_then(|a| a.get(key))
+                .and_then(|v| v.as_u64())
+        };
+        let (Some(name), Some(pid), Some(tid)) = (
+            ev.get("name").and_then(|v| v.as_str()),
+            ev.get("pid").and_then(|v| v.as_u64()),
+            ev.get("tid").and_then(|v| v.as_u64()),
+        ) else {
+            continue;
+        };
+        let (Some(sim_start_ns), Some(sim_dur_ns), Some(wall_start_us), Some(wall_dur_us)) = (
+            field("sim_start_ns"),
+            field("sim_dur_ns"),
+            field("wall_start_us"),
+            field("wall_dur_us"),
+        ) else {
+            return Err(format!(
+                "{input}: X event {name:?} lacks dual-clock args — not an omega trace"
+            ));
+        };
+        spans.push(omega::obs::SpanRecord {
+            name: name.to_string(),
+            track: omega::obs::Track::new(pid as u32, tid as u32),
+            sim_start_ns,
+            sim_dur_ns,
+            wall_start_us,
+            wall_dur_us,
+            depth: field("depth").unwrap_or(0) as u32,
+            args: Vec::new(),
+        });
+    }
+    if spans.is_empty() {
+        return Err(format!("{input}: trace holds no spans"));
+    }
+    let mut aggs = omega::obs::profile::aggregate(&spans);
+    aggs.sort_by(|a, b| {
+        b.self_wall_us
+            .cmp(&a.self_wall_us)
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    let shown = if top > 0 {
+        top.min(aggs.len())
+    } else {
+        aggs.len()
+    };
+    println!(
+        "{:<28} {:>8} {:>13} {:>14} {:>15} {:>15}",
+        "span", "count", "self_wall_us", "total_wall_us", "self_sim_ns", "total_sim_ns"
+    );
+    for a in &aggs[..shown] {
+        println!(
+            "{:<28} {:>8} {:>13} {:>14} {:>15} {:>15}",
+            a.name, a.count, a.self_wall_us, a.total_wall_us, a.self_sim_ns, a.total_sim_ns
+        );
+    }
+    if shown < aggs.len() {
+        println!("... {} more span names (raise --top)", aggs.len() - shown);
     }
     Ok(())
 }
@@ -578,6 +715,74 @@ mod tests {
         let bad = dir.join("bad.txt");
         std::fs::write(&bad, "transient device=floppy rate=0.1\n").unwrap();
         assert!(run(&serve_args(Some(&bad), &mz)).is_err());
+    }
+
+    #[test]
+    fn serve_profile_out_and_profile_report() {
+        let dir = std::env::temp_dir().join("omega_cli_profile_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let t = dir.join("t.json");
+        let c = dir.join("stacks.collapsed");
+        let m1 = dir.join("m1.jsonl");
+        let m2 = dir.join("m2.jsonl");
+        let serve_args = |metrics: &std::path::Path, profiled: bool| {
+            let mut v = s(&[
+                "serve",
+                "--requests",
+                "1500",
+                "--zipf",
+                "1.0",
+                "--nodes",
+                "2000",
+                "--dim",
+                "8",
+                "--seed",
+                "7",
+                "--threads",
+                "4",
+                "--topk-fraction",
+                "0.25",
+                "--metrics-out",
+                metrics.to_str().unwrap(),
+            ]);
+            if profiled {
+                v.extend(s(&[
+                    "--trace-out",
+                    t.to_str().unwrap(),
+                    "--profile-out",
+                    c.to_str().unwrap(),
+                ]));
+            }
+            v
+        };
+        run(&serve_args(&m1, false)).unwrap();
+        run(&serve_args(&m2, true)).unwrap();
+        // Profiling is wall-clock-only: metrics bytes must not move.
+        assert_eq!(
+            std::fs::read(&m1).unwrap(),
+            std::fs::read(&m2).unwrap(),
+            "--profile-out changed the metrics export"
+        );
+        let stacks = std::fs::read_to_string(&c).unwrap();
+        assert!(
+            stacks.lines().any(|l| l.starts_with("pool:")),
+            "collapsed stacks lack pool worker frames:\n{stacks}"
+        );
+        for line in stacks.lines() {
+            let (path, weight) = line.rsplit_once(' ').unwrap();
+            assert!(!path.is_empty());
+            weight.parse::<u64>().unwrap();
+        }
+        // The report mode renders a sorted self-time table from the trace.
+        run(&s(&[
+            "profile",
+            "--input",
+            t.to_str().unwrap(),
+            "--top",
+            "5",
+        ]))
+        .unwrap();
+        assert!(run(&s(&["profile", "--input", "/nonexistent.json"])).is_err());
     }
 
     #[test]

@@ -136,39 +136,48 @@ impl Prone {
         rec.arg(&root, "dim", self.cfg.dim);
 
         // Stage 0: graph reading (edge list -> in-memory format on the
-        // sparse operand's device).
+        // sparse operand's device). The `phase_scope`s attribute host wall
+        // time to the bench phase breakdown; simulated time is untouched.
         let read_span = rec.begin("prone.read", Track::MAIN);
-        let m = to_csdb(&log_proximity(adj, self.cfg.lambda))?;
-        let model = self.engine.system().model();
-        let device = self.engine.config().mode.operand_device();
-        let read_time = match self.cfg.read_format {
-            GraphFormat::Csdb => csdb_read_time(&m, model, device),
-            GraphFormat::Csr => csr_read_time(adj, model, device),
-        };
+        let (m, read_time) = omega_par::phase_scope("read", || -> Result<_> {
+            let m = to_csdb(&log_proximity(adj, self.cfg.lambda))?;
+            let model = self.engine.system().model();
+            let device = self.engine.config().mode.operand_device();
+            let read_time = match self.cfg.read_format {
+                GraphFormat::Csdb => csdb_read_time(&m, model, device),
+                GraphFormat::Csr => csr_read_time(adj, model, device),
+            };
+            Ok((m, read_time))
+        })?;
         rec.end(read_span, Some(read_time));
 
         // Stage 1: sparse factorisation.
         let fact_span = rec.begin("prone.factorize", Track::MAIN);
-        let mt = m.transpose()?;
-        let tsvd_cfg = TsvdConfig {
-            rank: self.cfg.dim,
-            oversample: self.cfg.oversample,
-            power_iters: self.cfg.power_iters,
-            threads: self.cfg.threads,
-            seed: self.cfg.seed,
-        };
-        let fact = randomized_tsvd(&self.engine, &m, &mt, &tsvd_cfg)?;
-        let initial = unpermute_matrix(&m, &fact.embedding);
+        let (fact, initial) = omega_par::phase_scope("tsvd", || -> Result<_> {
+            let mt = m.transpose()?;
+            let tsvd_cfg = TsvdConfig {
+                rank: self.cfg.dim,
+                oversample: self.cfg.oversample,
+                power_iters: self.cfg.power_iters,
+                threads: self.cfg.threads,
+                seed: self.cfg.seed,
+            };
+            let fact = randomized_tsvd(&self.engine, &m, &mt, &tsvd_cfg)?;
+            let initial = unpermute_matrix(&m, &fact.embedding);
+            Ok((fact, initial))
+        })?;
         rec.end(fact_span, Some(fact.total_time()));
 
         // Stage 2: spectral propagation. The workspace-wide thread knob
         // overrides whatever the Chebyshev sub-config carries.
         let prop_span = rec.begin("prone.propagate", Track::MAIN);
-        let cheb_cfg = ChebyshevConfig {
-            threads: self.cfg.threads,
-            ..self.cfg.chebyshev
-        };
-        let prop = propagate(&self.engine, adj, &initial, &cheb_cfg)?;
+        let prop = omega_par::phase_scope("propagate", || {
+            let cheb_cfg = ChebyshevConfig {
+                threads: self.cfg.threads,
+                ..self.cfg.chebyshev
+            };
+            propagate(&self.engine, adj, &initial, &cheb_cfg)
+        })?;
         rec.end(prop_span, Some(prop.total_time()));
         rec.end(root, None);
 

@@ -66,7 +66,7 @@ pub fn gemm_blocked(
     }
     // Each task fills a private (rows × n) column-major panel buffer with
     // the same axpy-formulated loop `gemm` uses, over its row range only.
-    let blocks = omega_par::run(threads, panels, |_: &mut (), p| {
+    let blocks = omega_par::run_labeled("linalg.gemm", threads, panels, |_: &mut (), p| {
         let r0 = p * panel_rows;
         let r1 = ((p + 1) * panel_rows).min(m);
         let rows = r1 - r0;
@@ -120,7 +120,7 @@ pub fn gemm_tn_blocked(
     if m == 0 || n == 0 {
         return Ok(c);
     }
-    let blocks = omega_par::run(threads, panels, |_: &mut (), p| {
+    let blocks = omega_par::run_labeled("linalg.gemm_tn", threads, panels, |_: &mut (), p| {
         let j0 = p * panel_cols;
         let j1 = ((p + 1) * panel_cols).min(n);
         let mut buf = vec![0f32; m * (j1 - j0)];
@@ -150,7 +150,7 @@ pub fn gemm_tn_blocked(
 /// enough to amortise the spawn, at the default panel height.
 pub fn gemm_threads(a: &DenseMatrix, b: &DenseMatrix, threads: usize) -> Result<DenseMatrix> {
     if threads <= 1 || 2 * a.rows() * a.cols() * b.cols() < GEMM_SEQ_FLOPS {
-        return gemm(a, b);
+        return omega_par::record_seq("linalg.gemm", || gemm(a, b));
     }
     gemm_blocked(a, b, threads, GEMM_PANEL_ROWS)
 }
@@ -158,7 +158,7 @@ pub fn gemm_threads(a: &DenseMatrix, b: &DenseMatrix, threads: usize) -> Result<
 /// [`gemm_tn`] that fans out on `threads` workers when large enough.
 pub fn gemm_tn_threads(a: &DenseMatrix, b: &DenseMatrix, threads: usize) -> Result<DenseMatrix> {
     if threads <= 1 || 2 * a.rows() * a.cols() * b.cols() < GEMM_SEQ_FLOPS {
-        return gemm_tn(a, b);
+        return omega_par::record_seq("linalg.gemm_tn", || gemm_tn(a, b));
     }
     gemm_tn_blocked(a, b, threads, GEMM_TN_PANEL_COLS)
 }
@@ -179,11 +179,11 @@ pub fn axpy_threads(
         });
     }
     if threads <= 1 || dst.data().len() < 2 * ELEM_CHUNK {
-        return dst.axpy(alpha, src);
+        return omega_par::record_seq("linalg.axpy", || dst.axpy(alpha, src));
     }
     let s = src.data();
     let chunks: Vec<&mut [f32]> = dst.data_mut().chunks_mut(ELEM_CHUNK).collect();
-    omega_par::for_each_chunk(threads, chunks, |ci, chunk| {
+    omega_par::for_each_chunk_labeled("linalg.axpy", threads, chunks, |ci, chunk| {
         let base = ci * ELEM_CHUNK;
         let len = chunk.len();
         for (d, &b) in chunk.iter_mut().zip(&s[base..base + len]) {
@@ -196,11 +196,11 @@ pub fn axpy_threads(
 /// Element-wise `m *= alpha` over fixed chunks on up to `threads` workers.
 pub fn scale_threads(m: &mut DenseMatrix, alpha: f32, threads: usize) {
     if threads <= 1 || m.data().len() < 2 * ELEM_CHUNK {
-        m.scale(alpha);
+        omega_par::record_seq("linalg.scale", || m.scale(alpha));
         return;
     }
     let chunks: Vec<&mut [f32]> = m.data_mut().chunks_mut(ELEM_CHUNK).collect();
-    omega_par::for_each_chunk(threads, chunks, |_, chunk| {
+    omega_par::for_each_chunk_labeled("linalg.scale", threads, chunks, |_, chunk| {
         for v in chunk.iter_mut() {
             *v *= alpha;
         }
@@ -215,7 +215,7 @@ pub fn scale_threads(m: &mut DenseMatrix, alpha: f32, threads: usize) {
 pub fn qr_thin_threads(a: &DenseMatrix, threads: usize) -> Result<(DenseMatrix, DenseMatrix)> {
     let (n, k) = a.shape();
     if threads <= 1 || n * k < QR_SEQ_ELEMS {
-        return crate::qr_thin(a);
+        return omega_par::record_seq("linalg.qr", || crate::qr_thin(a));
     }
     let steps = n.min(k);
     let mut work = a.clone();
@@ -243,11 +243,15 @@ pub fn qr_thin_threads(a: &DenseMatrix, threads: usize) -> Result<(DenseMatrix, 
         // the step still carries enough work.
         if (k - j) * (n - j) >= QR_SEQ_ELEMS {
             let cols: Vec<&mut [f32]> = work.data_mut().chunks_mut(n).skip(j).collect();
-            omega_par::for_each_chunk(threads, cols, |_, col| apply_reflector(&v, j, col));
+            omega_par::for_each_chunk_labeled("linalg.qr", threads, cols, |_, col| {
+                apply_reflector(&v, j, col)
+            });
         } else {
-            for c in j..k {
-                apply_reflector(&v, j, work.col_mut(c));
-            }
+            omega_par::record_seq("linalg.qr", || {
+                for c in j..k {
+                    apply_reflector(&v, j, work.col_mut(c));
+                }
+            });
         }
         reflectors.push(v);
     }
@@ -265,7 +269,7 @@ pub fn qr_thin_threads(a: &DenseMatrix, threads: usize) -> Result<(DenseMatrix, 
         q[(c, c)] = 1.0;
     }
     let cols: Vec<&mut [f32]> = q.data_mut().chunks_mut(n).collect();
-    omega_par::for_each_chunk(threads, cols, |_, qc| {
+    omega_par::for_each_chunk_labeled("linalg.qr", threads, cols, |_, qc| {
         for (j, v) in reflectors.iter().enumerate().rev() {
             apply_reflector(v, j, qc);
         }
@@ -280,10 +284,10 @@ pub fn qr_thin_threads(a: &DenseMatrix, threads: usize) -> Result<(DenseMatrix, 
 pub fn svd_tall_threads(a: &DenseMatrix, threads: usize) -> Result<Svd> {
     let (m, n) = a.shape();
     if m < 3 * n || n == 0 {
-        return svd_jacobi(a);
+        return omega_par::record_seq("linalg.svd_jacobi", || svd_jacobi(a));
     }
     let gram = gemm_tn_threads(a, a, threads)?;
-    let eig = svd_jacobi(&gram)?;
+    let eig = omega_par::record_seq("linalg.svd_jacobi", || svd_jacobi(&gram))?;
     let s: Vec<f32> = eig.s.iter().map(|&x| x.max(0.0).sqrt()).collect();
     let v = eig.u;
     let mut u = gemm_threads(a, &v, threads)?;

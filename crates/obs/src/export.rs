@@ -138,8 +138,13 @@ pub fn parse_metrics_jsonl(
     Ok(rows)
 }
 
-/// Human-readable report: a span table (dual clocks side by side) and a
-/// metrics table.
+/// Human-readable report: a span table (dual clocks side by side), the
+/// per-name self/total profile, and a metrics table.
+///
+/// Every section is deterministically ordered — spans by
+/// `(track, sim_start, duration desc, name)`, profile aggregates by name,
+/// metrics lexicographically — so two runs with identical simulated
+/// behaviour produce diffable reports.
 pub fn text_report(rec: &Recorder) -> String {
     let mut out = String::new();
     let spans = rec.spans();
@@ -149,7 +154,20 @@ pub fn text_report(rec: &Recorder) -> String {
             "span", "track", "sim_start", "sim_dur", "wall_dur"
         ));
         let mut ordered: Vec<&SpanRecord> = spans.iter().collect();
-        ordered.sort_by_key(|s| (s.track, s.sim_start_ns, std::cmp::Reverse(s.sim_dur_ns)));
+        ordered.sort_by(|a, b| {
+            (
+                a.track,
+                a.sim_start_ns,
+                std::cmp::Reverse(a.sim_dur_ns),
+                &a.name,
+            )
+                .cmp(&(
+                    b.track,
+                    b.sim_start_ns,
+                    std::cmp::Reverse(b.sim_dur_ns),
+                    &b.name,
+                ))
+        });
         for s in ordered {
             let indent = "  ".repeat(s.depth as usize);
             out.push_str(&format!(
@@ -159,6 +177,19 @@ pub fn text_report(rec: &Recorder) -> String {
                 s.sim_start_ns,
                 s.sim_dur_ns,
                 s.wall_dur_us,
+            ));
+        }
+    }
+    let profile = crate::profile::aggregate(&spans);
+    if !profile.is_empty() {
+        out.push_str(&format!(
+            "\n{:<34} {:>8} {:>13} {:>13} {:>13} {:>13}\n",
+            "profile", "count", "self_wall", "total_wall", "self_sim", "total_sim"
+        ));
+        for a in &profile {
+            out.push_str(&format!(
+                "{:<34} {:>8} {:>11}us {:>11}us {:>11}ns {:>11}ns\n",
+                a.name, a.count, a.self_wall_us, a.total_wall_us, a.self_sim_ns, a.total_sim_ns
             ));
         }
     }

@@ -36,8 +36,10 @@
 pub mod export;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 
 pub use metrics::{Histogram, MetricsSnapshot};
+pub use profile::{record_pool_timeline, SpanAggregate};
 
 use omega_hetmem::{SimDuration, SimInstant};
 use parking_lot::Mutex;
@@ -276,6 +278,34 @@ impl Recorder {
         });
     }
 
+    /// Record a span at an explicit **wall** interval (microseconds since
+    /// the recorder's epoch) with zero simulated duration. Used to replay
+    /// measured host timelines — e.g. pool worker intervals — onto
+    /// dedicated tracks without perturbing any simulated cursor.
+    pub fn record_wall_interval(
+        &self,
+        name: &str,
+        track: Track,
+        wall_start_us: u64,
+        wall_dur_us: u64,
+        depth: u32,
+        args: Vec<(String, String)>,
+    ) {
+        let Some(inner) = &self.inner else { return };
+        let mut st = inner.state.lock();
+        let sim_start_ns = *st.cursors.get(&track).unwrap_or(&0);
+        st.spans.push(SpanRecord {
+            name: name.to_string(),
+            track,
+            sim_start_ns,
+            sim_dur_ns: 0,
+            wall_start_us,
+            wall_dur_us,
+            depth,
+            args,
+        });
+    }
+
     /// The track's simulated cursor (the instant the next span would open).
     pub fn cursor(&self, track: Track) -> SimInstant {
         let Some(inner) = &self.inner else {
@@ -350,6 +380,17 @@ impl Recorder {
             None => MetricsSnapshot::default(),
             Some(inner) => inner.state.lock().registry.snapshot(),
         }
+    }
+
+    /// Per-name self/total profile over both clocks; see [`profile`].
+    pub fn profile(&self) -> Vec<SpanAggregate> {
+        profile::aggregate(&self.spans())
+    }
+
+    /// Collapsed-stack (flamegraph) rendering of the span tree, weighted
+    /// by self wall microseconds; see [`profile`].
+    pub fn collapsed_stacks(&self) -> String {
+        profile::collapsed_stacks(&self.spans())
     }
 
     /// Chrome-trace-event JSON (Perfetto-loadable); see [`export`].

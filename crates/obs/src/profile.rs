@@ -1,0 +1,349 @@
+//! Hierarchical span aggregation and flamegraph export.
+//!
+//! Folds a recorder's span stream into a per-name **self/total** profile on
+//! both clocks, and renders the same tree as collapsed stacks (the
+//! `a;b;c <weight>` text format consumed by flamegraph tooling, one line
+//! per unique call path, weighted by self wall microseconds).
+//!
+//! ## Tree reconstruction
+//!
+//! Spans are recorded in *completion* order and a child always completes
+//! before its parent (`Recorder::end` of the parent runs last), so walking
+//! the stream **backwards** per track yields each parent before its
+//! children. A stack trimmed by depth then recovers the nesting: when
+//! visiting a span, every stacked span of equal or greater depth is done,
+//! and the remaining top (if any) is the parent. Self time is total time
+//! minus the sum of direct children — wall in (truncated) microseconds,
+//! simulated in exact nanoseconds — so Σ self == Σ root totals per clock.
+//!
+//! This module also bridges [`omega_par::PoolProfiler`] timelines onto
+//! dedicated tracks ([`record_pool_timeline`]), which makes worker
+//! execute/idle/barrier intervals visible in the same Chrome trace,
+//! profile table, and collapsed stacks as the simulated-machine spans.
+
+use crate::{Recorder, SpanRecord, Track};
+use std::collections::BTreeMap;
+
+/// Aggregated statistics for one span name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanAggregate {
+    pub name: String,
+    pub count: u64,
+    /// Wall microseconds covered by spans of this name.
+    pub total_wall_us: u64,
+    /// Wall microseconds not covered by child spans.
+    pub self_wall_us: u64,
+    /// Simulated nanoseconds covered by spans of this name.
+    pub total_sim_ns: u64,
+    /// Simulated nanoseconds not covered by child spans.
+    pub self_sim_ns: u64,
+}
+
+struct StackEntry {
+    name_idx: usize,
+    depth: u32,
+    wall_dur_us: u64,
+    sim_dur_ns: u64,
+    child_wall_us: u64,
+    child_sim_ns: u64,
+}
+
+/// Walk one track's spans (completion order) and invoke `emit` for every
+/// span with its resolved path (indices into `names`) and self times.
+fn walk_track<F>(spans: &[&SpanRecord], names: &mut Vec<String>, mut emit: F)
+where
+    F: FnMut(&[usize], u64, u64, u64, u64),
+{
+    let mut stack: Vec<StackEntry> = Vec::new();
+    let intern = |name: &str, names: &mut Vec<String>| -> usize {
+        match names.iter().position(|n| n == name) {
+            Some(i) => i,
+            None => {
+                names.push(name.to_string());
+                names.len() - 1
+            }
+        }
+    };
+    let pop = |stack: &mut Vec<StackEntry>, emit: &mut F| {
+        let e = stack.pop().expect("pop from empty span stack");
+        let path: Vec<usize> = stack
+            .iter()
+            .map(|s| s.name_idx)
+            .chain(std::iter::once(e.name_idx))
+            .collect();
+        emit(
+            &path,
+            e.wall_dur_us,
+            e.wall_dur_us.saturating_sub(e.child_wall_us),
+            e.sim_dur_ns,
+            e.sim_dur_ns.saturating_sub(e.child_sim_ns),
+        );
+        if let Some(parent) = stack.last_mut() {
+            parent.child_wall_us += e.wall_dur_us;
+            parent.child_sim_ns += e.sim_dur_ns;
+        }
+    };
+    for span in spans.iter().rev() {
+        while stack.last().is_some_and(|e| e.depth >= span.depth) {
+            pop(&mut stack, &mut emit);
+        }
+        let name_idx = intern(&span.name, names);
+        stack.push(StackEntry {
+            name_idx,
+            depth: span.depth,
+            wall_dur_us: span.wall_dur_us,
+            sim_dur_ns: span.sim_dur_ns,
+            child_wall_us: 0,
+            child_sim_ns: 0,
+        });
+    }
+    while !stack.is_empty() {
+        pop(&mut stack, &mut emit);
+    }
+}
+
+fn tracks_in_order(spans: &[SpanRecord]) -> Vec<(Track, Vec<&SpanRecord>)> {
+    let mut by_track: BTreeMap<Track, Vec<&SpanRecord>> = BTreeMap::new();
+    for s in spans {
+        by_track.entry(s.track).or_default().push(s);
+    }
+    by_track.into_iter().collect()
+}
+
+/// Fold spans into per-name self/total aggregates, sorted by name.
+pub fn aggregate(spans: &[SpanRecord]) -> Vec<SpanAggregate> {
+    let mut rows: Vec<(Vec<usize>, u64, u64, u64, u64)> = Vec::new();
+    let mut names: Vec<String> = Vec::new();
+    for (_, track_spans) in tracks_in_order(spans) {
+        walk_track(
+            &track_spans,
+            &mut names,
+            |path, total_wall, self_wall, total_sim, self_sim| {
+                rows.push((path.to_vec(), total_wall, self_wall, total_sim, self_sim));
+            },
+        );
+    }
+    let mut by_name: BTreeMap<String, SpanAggregate> = BTreeMap::new();
+    for (path, total_wall, self_wall, total_sim, self_sim) in rows {
+        let name = &names[*path.last().expect("empty span path")];
+        let agg = by_name
+            .entry(name.clone())
+            .or_insert_with(|| SpanAggregate {
+                name: name.clone(),
+                ..SpanAggregate::default()
+            });
+        agg.count += 1;
+        agg.total_wall_us += total_wall;
+        agg.self_wall_us += self_wall;
+        agg.total_sim_ns += total_sim;
+        agg.self_sim_ns += self_sim;
+    }
+    by_name.into_values().collect()
+}
+
+/// Render spans as collapsed stacks: one `path;leaf weight` line per
+/// unique call path, weighted by self wall microseconds, sorted
+/// lexicographically. Zero-weight paths are kept (count still informs).
+pub fn collapsed_stacks(spans: &[SpanRecord]) -> String {
+    let mut by_path: BTreeMap<String, u64> = BTreeMap::new();
+    let mut names: Vec<String> = Vec::new();
+    let mut rows: Vec<(Vec<usize>, u64)> = Vec::new();
+    for (_, track_spans) in tracks_in_order(spans) {
+        walk_track(&track_spans, &mut names, |path, _, self_wall, _, _| {
+            rows.push((path.to_vec(), self_wall));
+        });
+    }
+    for (path, self_wall) in rows {
+        let key = path
+            .iter()
+            .map(|&i| names[i].as_str())
+            .collect::<Vec<_>>()
+            .join(";");
+        *by_path.entry(key).or_insert(0) += self_wall;
+    }
+    let mut out = String::new();
+    for (path, weight) in by_path {
+        out.push_str(&path);
+        out.push(' ');
+        out.push_str(&weight.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Replay a pool profiler's stored worker timelines onto obs tracks under
+/// `pid` (one `tid` per worker index), so pool barriers/idle/task
+/// intervals show up in the trace, profile, and collapsed stacks.
+///
+/// Per call and worker this records a `pool:<label>` span covering the
+/// worker's loop interval, `pool.task` child spans for the stored task
+/// intervals (self time of `pool:<label>` therefore reads as idle), and
+/// `pool.barrier` spans covering spawn delay and join tail. Simulated
+/// time is untouched: every bridged span carries zero simulated duration.
+pub fn record_pool_timeline(rec: &Recorder, prof: &omega_par::PoolProfiler, pid: u32) {
+    if !rec.is_enabled() || !prof.is_enabled() {
+        return;
+    }
+    let mut max_worker = 0usize;
+    for call in prof.call_records() {
+        let label = format!("pool:{}", call.label);
+        for (w, tl) in call.workers.iter().enumerate() {
+            max_worker = max_worker.max(w);
+            let track = Track::new(pid, w as u32);
+            if tl.loop_start_us > call.start_us {
+                rec.record_wall_interval(
+                    "pool.barrier",
+                    track,
+                    call.start_us,
+                    tl.loop_start_us - call.start_us,
+                    0,
+                    vec![("kind".to_string(), "spawn".to_string())],
+                );
+            }
+            // Children before parent: the tree walk expects completion
+            // order, and every task interval ends before the worker's
+            // loop interval does.
+            for &(start_us, end_us) in &tl.tasks {
+                rec.record_wall_interval(
+                    "pool.task",
+                    track,
+                    start_us,
+                    end_us.saturating_sub(start_us),
+                    1,
+                    Vec::new(),
+                );
+            }
+            rec.record_wall_interval(
+                &label,
+                track,
+                tl.loop_start_us,
+                tl.loop_end_us.saturating_sub(tl.loop_start_us),
+                0,
+                vec![
+                    ("site".to_string(), call.site.to_string()),
+                    ("tasks".to_string(), tl.task_count.to_string()),
+                    ("exec_ns".to_string(), tl.exec_ns.to_string()),
+                    ("idle_ns".to_string(), tl.idle_ns.to_string()),
+                ],
+            );
+            if call.end_us > tl.loop_end_us {
+                rec.record_wall_interval(
+                    "pool.barrier",
+                    track,
+                    tl.loop_end_us,
+                    call.end_us - tl.loop_end_us,
+                    0,
+                    vec![("kind".to_string(), "join".to_string())],
+                );
+            }
+        }
+    }
+    for w in 0..=max_worker {
+        rec.set_track_name(Track::new(pid, w as u32), &format!("pool worker {w}"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &str, depth: u32, wall: u64, sim: u64) -> SpanRecord {
+        SpanRecord {
+            name: name.to_string(),
+            track: Track::MAIN,
+            sim_start_ns: 0,
+            sim_dur_ns: sim,
+            wall_start_us: 0,
+            wall_dur_us: wall,
+            depth,
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn self_time_subtracts_direct_children() {
+        // Completion order: leaves first, root last.
+        //   root (wall 100, sim 50)
+        //   ├─ a (wall 30, sim 20)
+        //   │   └─ a1 (wall 10, sim 5)
+        //   └─ b (wall 40, sim 25)
+        let spans = vec![
+            span("a1", 2, 10, 5),
+            span("a", 1, 30, 20),
+            span("b", 1, 40, 25),
+            span("root", 0, 100, 50),
+        ];
+        let aggs = aggregate(&spans);
+        let get = |n: &str| aggs.iter().find(|a| a.name == n).unwrap();
+        assert_eq!(get("root").self_wall_us, 30); // 100 - 30 - 40
+        assert_eq!(get("root").total_wall_us, 100);
+        assert_eq!(get("a").self_wall_us, 20); // 30 - 10
+        assert_eq!(get("a1").self_wall_us, 10);
+        assert_eq!(get("b").self_wall_us, 40);
+        assert_eq!(get("root").self_sim_ns, 5); // 50 - 20 - 25
+        let self_sum: u64 = aggs.iter().map(|a| a.self_wall_us).sum();
+        assert_eq!(self_sum, 100, "self times telescope to root total");
+        // Aggregates come back sorted by name.
+        let names: Vec<&str> = aggs.iter().map(|a| a.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "a1", "b", "root"]);
+    }
+
+    #[test]
+    fn sibling_roots_and_repeated_names_accumulate() {
+        let spans = vec![
+            span("leaf", 1, 5, 0),
+            span("job", 0, 8, 0),
+            span("leaf", 1, 7, 0),
+            span("job", 0, 10, 0),
+        ];
+        let aggs = aggregate(&spans);
+        let job = aggs.iter().find(|a| a.name == "job").unwrap();
+        assert_eq!(job.count, 2);
+        assert_eq!(job.total_wall_us, 18);
+        assert_eq!(job.self_wall_us, 6);
+        let leaf = aggs.iter().find(|a| a.name == "leaf").unwrap();
+        assert_eq!(leaf.count, 2);
+        assert_eq!(leaf.self_wall_us, 12);
+    }
+
+    #[test]
+    fn collapsed_stacks_are_path_aggregated_and_sorted() {
+        let spans = vec![
+            span("leaf", 1, 5, 0),
+            span("job", 0, 8, 0),
+            span("leaf", 1, 7, 0),
+            span("job", 0, 10, 0),
+        ];
+        let folded = collapsed_stacks(&spans);
+        assert_eq!(folded, "job 6\njob;leaf 12\n");
+    }
+
+    #[test]
+    fn child_overshoot_saturates_instead_of_underflowing() {
+        // Wall truncation can make children sum past the parent.
+        let spans = vec![span("kid", 1, 10, 0), span("parent", 0, 9, 0)];
+        let aggs = aggregate(&spans);
+        let parent = aggs.iter().find(|a| a.name == "parent").unwrap();
+        assert_eq!(parent.self_wall_us, 0);
+    }
+
+    #[test]
+    fn pool_timeline_bridge_emits_zero_sim_spans() {
+        let prof = omega_par::PoolProfiler::enabled();
+        {
+            let _guard = omega_par::install(&prof);
+            let _: Vec<usize> = omega_par::run_labeled("bridge.site", 2, 8, |_: &mut (), i| {
+                std::thread::sleep(std::time::Duration::from_micros(50));
+                i
+            });
+        }
+        let rec = Recorder::enabled();
+        record_pool_timeline(&rec, &prof, 9);
+        let spans = rec.spans();
+        assert!(spans.iter().any(|s| s.name == "pool:bridge.site"));
+        assert!(spans.iter().any(|s| s.name == "pool.task"));
+        assert!(spans.iter().all(|s| s.sim_dur_ns == 0));
+        assert!(spans.iter().all(|s| s.track.pid == 9));
+        assert!(rec.track_names().iter().any(|(_, n)| n == "pool worker 0"));
+    }
+}

@@ -25,7 +25,25 @@
 //! chosen by the caller — never by the thread count — and each element is
 //! touched by exactly one closure invocation, the result is bit-identical
 //! at every worker count there too.
+//!
+//! ## Profiling
+//!
+//! The [`profile`] module adds opt-in wall-clock attribution: install a
+//! [`PoolProfiler`] on the calling thread and every pool call decomposes
+//! into execute/idle/barrier intervals per worker, attributed to the
+//! innermost [`phase_scope`] (or the call site's label from
+//! [`run_labeled`] / [`for_each_chunk_labeled`]). Profiling observes wall
+//! time only — results, ordering, and everything downstream of the
+//! simulated clock are untouched, at any thread count.
 
+pub mod profile;
+
+pub use profile::{
+    install, phase_scope, record_seq, PoolCallRecord, PoolProfile, PoolProfiler, ProfilerGuard,
+    WorkerTimeline,
+};
+
+use profile::{CallMeter, WorkerMeter};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -46,27 +64,81 @@ where
     S: Default + Send,
     F: Fn(&mut S, usize) -> T + Sync,
 {
+    run_labeled("pool.run", threads, n, f)
+}
+
+/// [`run`] with a static call-site label for wall-clock attribution (see
+/// [`profile`]). With no profiler installed the label costs one
+/// thread-local read.
+pub fn run_labeled<T, S, F>(site: &'static str, threads: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    S: Default + Send,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
     if threads <= 1 || n <= 1 {
+        let meter = CallMeter::begin(site);
         let mut scratch = S::default();
-        return (0..n).map(|i| f(&mut scratch, i)).collect();
+        let out: Vec<T> = (0..n).map(|i| f(&mut scratch, i)).collect();
+        if let Some(meter) = meter {
+            meter.finish_seq(n as u64);
+        }
+        return out;
     }
+    let workers = threads.min(n);
     let next = AtomicUsize::new(0);
     let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(n) {
-            scope.spawn(|| {
-                let mut scratch = S::default();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let out = f(&mut scratch, i);
-                    slots.lock().unwrap()[i] = Some(out);
+    match CallMeter::begin(site) {
+        None => {
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| {
+                        let mut scratch = S::default();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            let out = f(&mut scratch, i);
+                            slots.lock().unwrap()[i] = Some(out);
+                        }
+                    });
                 }
             });
         }
-    });
+        Some(meter) => {
+            let epoch = meter.epoch();
+            let timelines: Mutex<Vec<Option<WorkerTimeline>>> =
+                Mutex::new((0..workers).map(|_| None).collect());
+            std::thread::scope(|scope| {
+                for w in 0..workers {
+                    let (next, slots, f, timelines) = (&next, &slots, &f, &timelines);
+                    scope.spawn(move || {
+                        let mut wm = WorkerMeter::start(epoch);
+                        let mut scratch = S::default();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            wm.task(|| {
+                                let out = f(&mut scratch, i);
+                                slots.lock().unwrap()[i] = Some(out);
+                            });
+                        }
+                        timelines.lock().unwrap()[w] = Some(wm.finish());
+                    });
+                }
+            });
+            let timelines: Vec<WorkerTimeline> = timelines
+                .into_inner()
+                .unwrap()
+                .into_iter()
+                .flatten()
+                .collect();
+            meter.finish(n as u64, timelines);
+        }
+    }
     slots
         .into_inner()
         .unwrap()
@@ -91,10 +163,24 @@ where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
 {
+    for_each_chunk_labeled("pool.for_each_chunk", threads, chunks, f)
+}
+
+/// [`for_each_chunk`] with a static call-site label for wall-clock
+/// attribution (see [`profile`]).
+pub fn for_each_chunk_labeled<T, F>(site: &'static str, threads: usize, chunks: Vec<&mut [T]>, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
     let n = chunks.len();
     if threads <= 1 || n <= 1 {
+        let meter = CallMeter::begin(site);
         for (i, chunk) in chunks.into_iter().enumerate() {
             f(i, chunk);
+        }
+        if let Some(meter) = meter {
+            meter.finish_seq(n as u64);
         }
         return;
     }
@@ -103,15 +189,43 @@ where
     for (i, chunk) in chunks.into_iter().enumerate() {
         per_worker[i % workers].push((i, chunk));
     }
-    std::thread::scope(|scope| {
-        for mine in per_worker {
-            scope.spawn(|| {
-                for (i, chunk) in mine {
-                    f(i, chunk);
+    match CallMeter::begin(site) {
+        None => {
+            std::thread::scope(|scope| {
+                for mine in per_worker {
+                    scope.spawn(|| {
+                        for (i, chunk) in mine {
+                            f(i, chunk);
+                        }
+                    });
                 }
             });
         }
-    });
+        Some(meter) => {
+            let epoch = meter.epoch();
+            let timelines: Mutex<Vec<Option<WorkerTimeline>>> =
+                Mutex::new((0..workers).map(|_| None).collect());
+            std::thread::scope(|scope| {
+                for (w, mine) in per_worker.into_iter().enumerate() {
+                    let (f, timelines) = (&f, &timelines);
+                    scope.spawn(move || {
+                        let mut wm = WorkerMeter::start(epoch);
+                        for (i, chunk) in mine {
+                            wm.task(|| f(i, chunk));
+                        }
+                        timelines.lock().unwrap()[w] = Some(wm.finish());
+                    });
+                }
+            });
+            let timelines: Vec<WorkerTimeline> = timelines
+                .into_inner()
+                .unwrap()
+                .into_iter()
+                .flatten()
+                .collect();
+            meter.finish(n as u64, timelines);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -179,6 +293,112 @@ mod tests {
                 .collect();
             assert_eq!(data, expect, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn profiled_run_accounts_every_worker_nanosecond() {
+        let prof = PoolProfiler::enabled();
+        let _guard = install(&prof);
+        let out: Vec<u64> = run_labeled("test.site", 4, 32, |_: &mut (), i| {
+            if i % 5 == 0 {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            i as u64
+        });
+        assert_eq!(out, (0..32).collect::<Vec<_>>());
+        let profiles = prof.profiles();
+        assert_eq!(profiles.len(), 1);
+        let (label, p) = &profiles[0];
+        assert_eq!(label, "test.site");
+        assert_eq!(p.calls, 1);
+        assert_eq!(p.tasks, 32);
+        assert_eq!(p.workers, 4);
+        assert_eq!(p.exec_ns + p.idle_ns + p.barrier_ns, p.worker_wall_ns);
+        assert_eq!(
+            p.exec_wall_ns + p.idle_wall_ns + p.barrier_wall_ns,
+            p.wall_ns
+        );
+        assert!(p.utilization() > 0.0 && p.utilization() <= 1.0);
+        assert!(p.imbalance() >= 1.0);
+        let records = prof.call_records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].site, "test.site");
+        let counted: u64 = records[0].workers.iter().map(|w| w.task_count).sum();
+        assert_eq!(counted, 32);
+    }
+
+    #[test]
+    fn phase_scope_overrides_site_label_and_nests() {
+        let prof = PoolProfiler::enabled();
+        let _guard = install(&prof);
+        phase_scope("outer", || {
+            let _: Vec<usize> = run_labeled("site.a", 2, 8, |_: &mut (), i| i);
+            phase_scope("inner", || {
+                record_seq("site.b", || {
+                    std::thread::sleep(std::time::Duration::from_micros(100))
+                });
+            });
+        });
+        let labels: Vec<String> = prof.profiles().into_iter().map(|(l, _)| l).collect();
+        assert_eq!(labels, vec!["inner".to_string(), "outer".to_string()]);
+        let find = |name: &str| {
+            prof.profiles()
+                .into_iter()
+                .find(|(l, _)| l == name)
+                .unwrap()
+                .1
+        };
+        let outer = find("outer");
+        let inner = find("inner");
+        assert_eq!(outer.calls, 1, "pool call attributes to innermost scope");
+        assert_eq!(inner.seq_calls, 1, "record_seq attributes to its scope");
+        assert!(inner.scope_self_wall_ns > 0);
+        // Outer self time excludes the nested scope entirely.
+        assert!(outer.scope_self_wall_ns >= outer.wall_ns);
+    }
+
+    #[test]
+    fn sequential_paths_record_seq_calls() {
+        let prof = PoolProfiler::enabled();
+        let _guard = install(&prof);
+        let _: Vec<usize> = run_labeled("seq.site", 1, 16, |_: &mut (), i| i);
+        let mut buf = [0u8; 4];
+        let chunks: Vec<&mut [u8]> = buf.chunks_mut(8).collect();
+        for_each_chunk_labeled("seq.site", 1, chunks, |_, _| {});
+        let p = &prof.profiles()[0].1;
+        assert_eq!(p.calls, 0);
+        assert_eq!(p.seq_calls, 2);
+        assert_eq!(p.tasks, 17);
+    }
+
+    #[test]
+    fn uninstalled_profiler_records_nothing() {
+        let prof = PoolProfiler::enabled();
+        // Not installed: pool runs and scopes must not report into it.
+        let _: Vec<usize> = phase_scope("ghost", || run(4, 8, |_: &mut (), i| i));
+        assert!(prof.profiles().is_empty());
+        assert_eq!(prof.total(), PoolProfile::default());
+        assert!(!PoolProfiler::disabled().is_enabled());
+    }
+
+    #[test]
+    fn for_each_chunk_profiled_keeps_results_and_invariant() {
+        let prof = PoolProfiler::enabled();
+        let _guard = install(&prof);
+        let mut data: Vec<u64> = (0..1000).collect();
+        let chunks: Vec<&mut [u64]> = data.chunks_mut(64).collect();
+        for_each_chunk_labeled("chunk.site", 4, chunks, |i, chunk| {
+            for v in chunk.iter_mut() {
+                *v = v.wrapping_mul(3).wrapping_add(i as u64);
+            }
+        });
+        let expect: Vec<u64> = (0..1000u64)
+            .map(|v| v.wrapping_mul(3).wrapping_add(v / 64))
+            .collect();
+        assert_eq!(data, expect);
+        let p = prof.total();
+        assert_eq!(p.tasks, 16);
+        assert_eq!(p.exec_ns + p.idle_ns + p.barrier_ns, p.worker_wall_ns);
     }
 
     #[test]

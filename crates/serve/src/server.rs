@@ -704,6 +704,11 @@ impl EmbedServer {
     /// converted to time in **one** `thread_time` call, bit-identical to
     /// the sequential scan at every thread count.
     fn scan_top_k(&mut self, query: &[f32], k: usize) -> (Vec<(u32, f32)>, SimDuration) {
+        // Wall-clock phase attribution only; simulated time is unaffected.
+        pool::phase_scope("topk", || self.scan_top_k_inner(query, k))
+    }
+
+    fn scan_top_k_inner(&mut self, query: &[f32], k: usize) -> (Vec<(u32, f32)>, SimDuration) {
         assert_eq!(query.len(), self.store.dim(), "query dimension mismatch");
         let shards = self.store.num_shards();
         self.parallel_span("scan", shards);
@@ -711,9 +716,12 @@ impl EmbedServer {
         self.rec.arg(&span, "k", k);
         let scan_start = self.sim_now;
         let this: &EmbedServer = self;
-        let outcomes = pool::run(this.cfg.threads, shards, |scores: &mut Vec<f32>, sid| {
-            this.scan_shard_task(query, k, sid, scan_start, scores)
-        });
+        let outcomes = pool::run_labeled(
+            "serve.scan",
+            this.cfg.threads,
+            shards,
+            |scores: &mut Vec<f32>, sid| this.scan_shard_task(query, k, sid, scan_start, scores),
+        );
         let mut merged = ClassCounters::default();
         let mut penalty = SimDuration::ZERO;
         let mut extra = SimDuration::ZERO;
@@ -759,91 +767,106 @@ impl EmbedServer {
         self.stats.requests += requests.len() as u64;
 
         // Phase 1: classify against pre-batch residency, then fetch each
-        // distinct missing shard once.
-        let mut missing: Vec<usize> = Vec::new();
-        for req in requests {
-            assert!(
-                self.store.contains(req.node),
-                "request for node {} out of range ({} nodes)",
-                req.node,
-                self.store.nodes()
-            );
-            let sid = self.store.shard_of(req.node);
-            if self.cache.contains(sid) {
-                self.stats.hits += 1;
-            } else {
-                self.stats.misses += 1;
-                if !missing.contains(&sid) {
-                    missing.push(sid);
+        // distinct missing shard once. The phase scope attributes wall
+        // time only; nothing simulated depends on it.
+        let fetch_dur = pool::phase_scope("fetch", || {
+            let mut missing: Vec<usize> = Vec::new();
+            for req in requests {
+                assert!(
+                    self.store.contains(req.node),
+                    "request for node {} out of range ({} nodes)",
+                    req.node,
+                    self.store.nodes()
+                );
+                let sid = self.store.shard_of(req.node);
+                if self.cache.contains(sid) {
+                    self.stats.hits += 1;
+                } else {
+                    self.stats.misses += 1;
+                    if !missing.contains(&sid) {
+                        missing.push(sid);
+                    }
+                }
+                self.cache.record_access(sid);
+            }
+            missing.sort_unstable();
+            let mut fetch_dur = SimDuration::ZERO;
+            if !missing.is_empty() {
+                self.parallel_span("fetch", missing.len());
+                let batch_start = self.sim_now;
+                let this: &EmbedServer = self;
+                let outcomes = pool::run_labeled(
+                    "serve.fetch",
+                    this.cfg.threads,
+                    missing.len(),
+                    |_: &mut (), i| this.fetch_shard_task(missing[i], batch_start),
+                );
+                for out in outcomes {
+                    fetch_dur += self.merge_fetch(out);
                 }
             }
-            self.cache.record_access(sid);
-        }
-        missing.sort_unstable();
-        let mut fetch_dur = SimDuration::ZERO;
-        if !missing.is_empty() {
-            self.parallel_span("fetch", missing.len());
-            let batch_start = self.sim_now;
-            let this: &EmbedServer = self;
-            let outcomes = pool::run(this.cfg.threads, missing.len(), |_: &mut (), i| {
-                this.fetch_shard_task(missing[i], batch_start)
-            });
-            for out in outcomes {
-                fetch_dur += self.merge_fetch(out);
-            }
-        }
+            fetch_dur
+        });
 
         // Phase 2: resolve every request's row serve in parallel — cache
         // state is frozen for the phase, so each task sees exactly the
         // residency the sequential loop would — then answer in arrival
         // order. Point lookups accumulate into one `serve.lookup` leaf span
         // per contiguous run; top-k scans get their own spans.
-        let lookups = if requests.is_empty() {
-            Vec::new()
-        } else {
-            self.parallel_span("lookup", requests.len());
-            let phase_start = self.sim_now;
-            let this: &EmbedServer = self;
-            pool::run(this.cfg.threads, requests.len(), |_: &mut (), i| {
-                this.lookup_task(requests[i].node, LOOKUP_STREAM + i as u64, phase_start)
-            })
-        };
-        let mut responses = Vec::with_capacity(requests.len());
-        let mut latencies = Vec::with_capacity(requests.len());
-        let mut served = SimDuration::ZERO;
-        let mut lookup_acc = SimDuration::ZERO;
-        let flush_lookups = |rec: &Recorder, track: Track, acc: &mut SimDuration| {
-            if *acc > SimDuration::ZERO {
-                let span = rec.begin("serve.lookup", track);
-                rec.end(span, Some(*acc));
-                *acc = SimDuration::ZERO;
-            }
-        };
-        for (req, lk) in requests.iter().zip(lookups) {
-            self.counters.merge(&lk.counters);
-            self.sim_now += lk.dur;
-            self.stats.dram_read_bytes += lk.row_bytes;
-            match req.kind {
-                RequestKind::Get => {
-                    self.stats.lookups += 1;
-                    lookup_acc += lk.dur;
-                    served += lk.dur;
-                    responses.push(Response::Vector(lk.row));
+        let (responses, latencies) = pool::phase_scope("lookup", || {
+            let lookups = if requests.is_empty() {
+                Vec::new()
+            } else {
+                self.parallel_span("lookup", requests.len());
+                let phase_start = self.sim_now;
+                let this: &EmbedServer = self;
+                pool::run_labeled(
+                    "serve.lookup",
+                    this.cfg.threads,
+                    requests.len(),
+                    |_: &mut (), i| {
+                        this.lookup_task(requests[i].node, LOOKUP_STREAM + i as u64, phase_start)
+                    },
+                )
+            };
+            let mut responses = Vec::with_capacity(requests.len());
+            let mut latencies = Vec::with_capacity(requests.len());
+            let mut served = SimDuration::ZERO;
+            let mut lookup_acc = SimDuration::ZERO;
+            let flush_lookups = |rec: &Recorder, track: Track, acc: &mut SimDuration| {
+                if *acc > SimDuration::ZERO {
+                    let span = rec.begin("serve.lookup", track);
+                    rec.end(span, Some(*acc));
+                    *acc = SimDuration::ZERO;
                 }
-                RequestKind::TopK { k } => {
-                    // Resolving the query vector is itself a row serve;
-                    // fold it into the lookup span before the scan opens.
-                    lookup_acc += lk.dur;
-                    flush_lookups(&self.rec, self.track, &mut lookup_acc);
-                    let (neighbors, scan_dur) = self.scan_top_k(&lk.row, k);
-                    self.stats.topks += 1;
-                    served += lk.dur + scan_dur;
-                    responses.push(Response::Neighbors(neighbors));
+            };
+            for (req, lk) in requests.iter().zip(lookups) {
+                self.counters.merge(&lk.counters);
+                self.sim_now += lk.dur;
+                self.stats.dram_read_bytes += lk.row_bytes;
+                match req.kind {
+                    RequestKind::Get => {
+                        self.stats.lookups += 1;
+                        lookup_acc += lk.dur;
+                        served += lk.dur;
+                        responses.push(Response::Vector(lk.row));
+                    }
+                    RequestKind::TopK { k } => {
+                        // Resolving the query vector is itself a row serve;
+                        // fold it into the lookup span before the scan opens.
+                        lookup_acc += lk.dur;
+                        flush_lookups(&self.rec, self.track, &mut lookup_acc);
+                        let (neighbors, scan_dur) = self.scan_top_k(&lk.row, k);
+                        self.stats.topks += 1;
+                        served += lk.dur + scan_dur;
+                        responses.push(Response::Neighbors(neighbors));
+                    }
                 }
+                latencies.push((fetch_dur + served).as_nanos());
             }
-            latencies.push((fetch_dur + served).as_nanos());
-        }
-        flush_lookups(&self.rec, self.track, &mut lookup_acc);
+            flush_lookups(&self.rec, self.track, &mut lookup_acc);
+            (responses, latencies)
+        });
         self.rec.end(batch_span, None);
 
         let wall_us = wall_start.elapsed().as_micros() as u64;

@@ -895,26 +895,31 @@ impl SpmmEngine {
         // results land in workload-index order, so wall parallelism never
         // reorders the fixed-order merge downstream.
         let threads = self.wall_threads.min(workloads.len().max(1));
-        omega_par::run(threads, workloads.len(), |_: &mut (), wi| {
-            let w = &workloads[wi];
-            let mut ctx = self.ctx_for(group, w.thread);
-            // Salt the context clock so an installed fault plan draws
-            // independently per (batch, workload) — decided by data, never
-            // by OS thread scheduling.
-            ctx.set_sim_now(SimDuration::from_nanos(
-                ((local_cols.start as u64) << 20) | wi as u64,
-            ));
-            let (block, stats) = run_workload(
-                &inputs,
-                w,
-                local_cols.clone(),
-                prefetchers[wi].as_ref(),
-                &mut ctx,
-            );
-            let penalty = ctx.injected_penalty();
-            let failed = ctx.take_fault().is_some();
-            (block, stats, ctx.take_counters(), penalty, failed)
-        })
+        omega_par::run_labeled(
+            "spmm.workload",
+            threads,
+            workloads.len(),
+            |_: &mut (), wi| {
+                let w = &workloads[wi];
+                let mut ctx = self.ctx_for(group, w.thread);
+                // Salt the context clock so an installed fault plan draws
+                // independently per (batch, workload) — decided by data, never
+                // by OS thread scheduling.
+                ctx.set_sim_now(SimDuration::from_nanos(
+                    ((local_cols.start as u64) << 20) | wi as u64,
+                ));
+                let (block, stats) = run_workload(
+                    &inputs,
+                    w,
+                    local_cols.clone(),
+                    prefetchers[wi].as_ref(),
+                    &mut ctx,
+                );
+                let penalty = ctx.injected_penalty();
+                let failed = ctx.take_fault().is_some();
+                (block, stats, ctx.take_counters(), penalty, failed)
+            },
+        )
     }
 }
 

@@ -147,7 +147,7 @@ impl<'g> Walker<'g> {
         let total = n * self.cfg.walks_per_node;
         let workers = workers.max(1).min(total.max(1));
         let chunk = total.div_ceil(workers);
-        omega_par::run(workers, workers, |_: &mut (), w| {
+        omega_par::run_labeled("walk.generate", workers, workers, |_: &mut (), w| {
             let start = w * chunk;
             let end = ((w + 1) * chunk).min(total);
             (start..end)

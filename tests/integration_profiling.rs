@@ -1,0 +1,206 @@
+//! The profiling determinism contract, end to end: wall-clock profiling
+//! (ambient `PoolProfiler`, phase scopes, worker timelines) observes the
+//! system without perturbing it. Every simulated observable — total sim
+//! time, byte traffic, the full metrics JSONL export, embeddings — is
+//! byte-identical with profiling enabled or disabled, at wall threads 1
+//! and 8, for both the serving and the training path. The profiled runs
+//! must also actually profile: non-vacuous pool activity, exact interval
+//! accounting, and collapsed stacks that include the bridged pool tracks.
+
+use omega::hetmem::{DeviceKind, MemSystem, Placement, Topology};
+use omega::obs::{record_pool_timeline, Recorder, Track};
+use omega::par::{install, PoolProfiler};
+use omega::serve::{EmbedServer, Popularity, RequestStream, ServeConfig, WorkloadConfig};
+use omega_embed::prone::{Prone, ProneConfig};
+use omega_graph::RmatConfig;
+use omega_spmm::{SpmmConfig, SpmmEngine};
+
+const WALL_THREADS: [usize; 2] = [1, 8];
+
+/// One fixed-seed serving run; returns `(sim_ns, bytes, metrics_jsonl)` —
+/// every simulated observable — plus the recorder for span inspection.
+fn serve_run(threads: usize) -> (u64, u64, String, Recorder) {
+    let emb = omega::Embedding::from_matrix(&omega::linalg::gaussian_matrix(1_500, 8, 42));
+    let sys = MemSystem::new(Topology::paper_machine_scaled(8 << 20));
+    let cfg = ServeConfig::new(8 * 32 * 8 * 4)
+        .rows_per_shard(32)
+        .cold(Placement::node(0, DeviceKind::Pm))
+        .threads(threads);
+    let rec = Recorder::enabled();
+    let mut srv = EmbedServer::new(&sys, &emb, cfg)
+        .unwrap()
+        .with_recorder(&rec, Track::MAIN);
+    let mut load = RequestStream::new(
+        WorkloadConfig::lookups(1_500, Popularity::Zipf { s: 1.0 }, 7).with_topk(0.1, 6),
+    );
+    let report = srv.run(&mut load, 1_200);
+    (
+        report.total_sim.as_nanos(),
+        report.traffic.total_bytes,
+        rec.metrics_jsonl(),
+        rec,
+    )
+}
+
+/// One fixed-seed training run; returns `(sim_ns, embedding, metrics)`.
+fn prone_run(wall_threads: usize) -> (u64, Vec<f32>, String) {
+    let csr = RmatConfig::social(600, 5_000, 17).generate_csr().unwrap();
+    let sys = MemSystem::new(Topology::paper_machine_scaled(16 << 20));
+    let rec = Recorder::enabled();
+    let engine = SpmmEngine::new(sys, SpmmConfig::omega(4))
+        .unwrap()
+        .with_recorder(rec.clone())
+        .with_wall_threads(wall_threads);
+    let prone = Prone::new(
+        engine,
+        ProneConfig {
+            dim: 16,
+            oversample: 8,
+            threads: wall_threads,
+            ..ProneConfig::default()
+        },
+    );
+    let (emb, report) = prone.embed(&csr).unwrap();
+    (
+        report.total().as_nanos(),
+        emb.data().to_vec(),
+        rec.metrics_jsonl(),
+    )
+}
+
+/// Serving: sim time, bytes, and the metrics export are byte-identical
+/// with profiling on or off at every wall-thread count — and the profiled
+/// runs record real, exactly-accounted pool activity.
+#[test]
+fn serving_observables_identical_with_profiling_on_or_off() {
+    let (base_sim, base_bytes, base_metrics, _) = serve_run(1);
+    assert!(!base_metrics.is_empty());
+    for threads in WALL_THREADS {
+        // Unprofiled.
+        let (sim, bytes, metrics, _) = serve_run(threads);
+        assert_eq!(sim, base_sim, "sim_ns drifted at threads={threads}");
+        assert_eq!(bytes, base_bytes, "bytes drifted at threads={threads}");
+        assert_eq!(
+            metrics, base_metrics,
+            "metrics drifted at threads={threads}"
+        );
+        // Profiled.
+        let prof = PoolProfiler::enabled();
+        let (sim, bytes, metrics, _) = {
+            let _guard = install(&prof);
+            serve_run(threads)
+        };
+        assert_eq!(
+            sim, base_sim,
+            "profiling changed sim_ns at threads={threads}"
+        );
+        assert_eq!(
+            bytes, base_bytes,
+            "profiling changed bytes at threads={threads}"
+        );
+        assert_eq!(
+            metrics, base_metrics,
+            "profiling changed the metrics export at threads={threads}"
+        );
+        // Non-vacuous: phase scopes fired, and the accounting identities
+        // hold on whatever was recorded.
+        let labels: Vec<String> = prof.profiles().into_iter().map(|(l, _)| l).collect();
+        for phase in ["fetch", "lookup", "topk"] {
+            assert!(
+                labels.iter().any(|l| l == phase),
+                "phase {phase:?} missing from profiled serving run at \
+                 threads={threads}: {labels:?}"
+            );
+        }
+        let total = prof.total();
+        assert!(total.calls + total.seq_calls > 0);
+        assert_eq!(
+            total.exec_ns + total.idle_ns + total.barrier_ns,
+            total.worker_wall_ns
+        );
+        assert_eq!(
+            total.exec_wall_ns + total.idle_wall_ns + total.barrier_wall_ns,
+            total.wall_ns
+        );
+    }
+}
+
+/// Training: embedding bits, sim time, and metrics are identical with
+/// profiling on or off at wall threads 1 and 8.
+#[test]
+fn training_observables_identical_with_profiling_on_or_off() {
+    let (base_sim, base_emb, base_metrics) = prone_run(1);
+    assert!(!base_metrics.is_empty());
+    for threads in WALL_THREADS {
+        let prof = PoolProfiler::enabled();
+        let (sim, emb, metrics) = {
+            let _guard = install(&prof);
+            prone_run(threads)
+        };
+        assert_eq!(
+            sim, base_sim,
+            "profiling changed sim_ns at threads={threads}"
+        );
+        assert_eq!(
+            metrics, base_metrics,
+            "profiling changed training metrics at threads={threads}"
+        );
+        assert_eq!(emb.len(), base_emb.len());
+        for (i, (a, b)) in base_emb.iter().zip(&emb).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "embedding entry {i} drifted under profiling at threads={threads}"
+            );
+        }
+        let labels: Vec<String> = prof.profiles().into_iter().map(|(l, _)| l).collect();
+        for phase in ["read", "tsvd", "propagate", "combine"] {
+            assert!(
+                labels.iter().any(|l| l == phase),
+                "phase {phase:?} missing from profiled training run at \
+                 threads={threads}: {labels:?}"
+            );
+        }
+    }
+}
+
+/// The pool-timeline bridge adds spans to the recorder (so collapsed
+/// stacks and traces show worker activity) without moving any simulated
+/// clock: the metrics export is untouched and every bridged span carries
+/// zero simulated duration.
+#[test]
+fn pool_timeline_bridge_is_sim_invisible() {
+    let prof = PoolProfiler::enabled();
+    let (_, _, metrics_before, rec) = {
+        let _guard = install(&prof);
+        serve_run(8)
+    };
+    let spans_before = rec.spans().len();
+    record_pool_timeline(&rec, &prof, 1);
+    let spans = rec.spans();
+    assert!(
+        spans.len() > spans_before,
+        "bridge added no spans despite recorded pool calls"
+    );
+    for span in &spans[spans_before..] {
+        assert_eq!(
+            span.track.pid, 1,
+            "bridged spans must live on their own pid"
+        );
+        assert_eq!(
+            span.sim_dur_ns, 0,
+            "bridged span {:?} carries simulated time",
+            span.name
+        );
+    }
+    assert_eq!(
+        rec.metrics_jsonl(),
+        metrics_before,
+        "bridging pool timelines changed the metrics export"
+    );
+    let collapsed = rec.collapsed_stacks();
+    assert!(
+        collapsed.lines().any(|l| l.starts_with("pool:")),
+        "collapsed stacks lack pool worker frames:\n{collapsed}"
+    );
+}
