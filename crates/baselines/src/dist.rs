@@ -5,13 +5,14 @@
 //! sampling (≈80 % of runtime) plus gradient-synchronisation traffic, and
 //! DistGER's competitiveness to its information-oriented walks needing far
 //! fewer sampled steps. Both are modelled with explicit traffic volumes
-//! over a 25 GbE [`Cluster`]: what crosses machines is derived from random
-//! edge-cut partitioning (an expected `(p−1)/p` of neighbour accesses are
-//! remote).
+//! over a 25 GbE [`Cluster`] whose link parameters are the shared
+//! [`NetModel`] (also used by the `omega-plane` request plane): what crosses
+//! machines is derived from random edge-cut partitioning (an expected
+//! `(p−1)/p` of neighbour accesses are remote).
 
 use crate::RunOutcome;
 use omega_graph::Csr;
-use omega_hetmem::{Cluster, SimDuration};
+use omega_hetmem::{Cluster, NetModel, SimDuration};
 use omega_walk::{InfoWalkConfig, InfoWalker, SgnsConfig, SgnsModel};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -37,6 +38,11 @@ impl DistConfig {
             cpu_ops_per_sec: 2.0e9,
             seed: 0xd157,
         }
+    }
+
+    /// The shared link parameters this cluster runs over.
+    pub fn network(&self) -> NetModel {
+        self.cluster.network
     }
 
     fn compute_time(&self, ops: f64) -> SimDuration {

@@ -4,8 +4,9 @@
 //! Runs a fixed set of seeded workloads N times, records nearest-rank
 //! median and p95 **wall** nanoseconds plus the exact **simulated**
 //! nanoseconds and byte traffic, and compares the wall numbers against the
-//! committed baselines `BENCH_serving.json` / `BENCH_spmm.json` /
-//! `BENCH_prone.json` at the repository root (schema per record:
+//! committed baselines `BENCH_serving.json` / `BENCH_plane.json` /
+//! `BENCH_spmm.json` / `BENCH_prone.json` at the repository root (schema
+//! per record:
 //! `{workload, wall_ns_p50, wall_ns_p95, sim_ns, bytes, git_rev}` plus
 //! optional `speedup_milli` and a nested `phases` breakdown).
 //!
@@ -50,10 +51,12 @@ use omega_bench::{
 use omega_embed::prone::{Prone, ProneConfig};
 use omega_embed::Embedding;
 use omega_graph::{Csdb, RmatConfig};
+use omega_hetmem::SimDuration;
 use omega_hetmem::{DeviceKind, MemSystem, Placement, Topology};
 use omega_linalg::gaussian_matrix;
 use omega_obs::{Recorder, Track};
 use omega_par::PoolProfiler;
+use omega_plane::{PlaneConfig, Priority, RequestPlane, TenantSpec};
 use omega_serve::{EmbedServer, Popularity, RequestStream, ServeConfig, WorkloadConfig};
 use omega_spmm::{SpmmConfig, SpmmEngine};
 use omega_walk::{InfoWalkConfig, InfoWalker};
@@ -77,6 +80,12 @@ const SPMM_NODES: u32 = 2_000;
 const SPMM_EDGES: u64 = 30_000;
 const SPMM_DENSE_COLS: usize = 32;
 const SPMM_THREADS: usize = 8;
+/// Request-plane workload: an open-loop two-tenant mix over a replicated
+/// tier, sized so the admission and degrade paths both fire.
+const PLANE_REPLICAS: usize = 3;
+const PLANE_RATE: f64 = 40_000.0;
+const PLANE_HORIZON_MS: u64 = 20;
+const PLANE_DEADLINE_NS: u64 = 2_000_000;
 /// End-to-end training (ProNE embed) workload. Sized so the dense QR/SVD
 /// stages clear the parallel kernels' sequential-fallback thresholds.
 const PRONE_NODES: u32 = 1_500;
@@ -150,6 +159,82 @@ fn serving_traced(threads: usize) -> Recorder {
 
 fn serving_metrics(threads: usize) -> String {
     serving_traced(threads).metrics_jsonl()
+}
+
+/// Shared setup for the plane workloads: `PLANE_REPLICAS` systems, one
+/// embedding, the serve/plane configs and the two-tenant mix.
+fn plane_setup(
+    threads: usize,
+) -> (
+    Vec<MemSystem>,
+    Embedding,
+    ServeConfig,
+    PlaneConfig,
+    Vec<TenantSpec>,
+) {
+    let emb = Embedding::from_matrix(&gaussian_matrix(NODES as usize, DIM, SEED));
+    let shard_bytes = ROWS_PER_SHARD as u64 * DIM as u64 * 4;
+    let systems = (0..PLANE_REPLICAS)
+        .map(|_| {
+            MemSystem::new(Topology::paper_machine_scaled(
+                (2 * CACHE_SHARDS * shard_bytes).max(1 << 20),
+            ))
+        })
+        .collect();
+    let serve_cfg = ServeConfig::new(CACHE_SHARDS * shard_bytes)
+        .rows_per_shard(ROWS_PER_SHARD)
+        .cold(Placement::node(0, DeviceKind::Pm))
+        .threads(threads);
+    let plane_cfg = PlaneConfig::new(PLANE_REPLICAS)
+        .seed(SEED)
+        .horizon(SimDuration::from_secs_f64(PLANE_HORIZON_MS as f64 * 1e-3));
+    let wl = WorkloadConfig::lookups(NODES, Popularity::Zipf { s: 1.0 }, SEED)
+        .with_topk(TOPK_FRACTION, TOPK_K);
+    let tenants = vec![
+        TenantSpec::poisson("interactive", PLANE_RATE * 0.6, wl)
+            .with_priority(Priority::High)
+            .with_deadline_ns(PLANE_DEADLINE_NS),
+        TenantSpec::poisson("batch", PLANE_RATE * 0.4, wl)
+            .with_priority(Priority::Low)
+            .with_deadline_ns(PLANE_DEADLINE_NS * 4),
+    ];
+    (systems, emb, serve_cfg, plane_cfg, tenants)
+}
+
+fn plane_run(threads: usize) -> Sample {
+    let (systems, emb, serve_cfg, plane_cfg, tenants) = plane_setup(threads);
+    let start = Instant::now();
+    let mut plane =
+        RequestPlane::new(&systems, &emb, serve_cfg, plane_cfg).expect("cold tier holds the table");
+    let report = plane.run(&tenants);
+    assert!(report.stats.identity_holds(), "plane accounting identity");
+    // Byte traffic summed over the replica tier: any drift with the wall
+    // thread count means replica state leaked across the wall clock.
+    let bytes = plane
+        .servers()
+        .iter()
+        .map(|s| {
+            let st = s.stats();
+            st.cold_read_bytes + st.dram_read_bytes + st.dram_write_bytes
+        })
+        .sum();
+    Sample {
+        wall_ns: start.elapsed().as_nanos() as u64,
+        sim_ns: report.end_ns,
+        bytes,
+    }
+}
+
+/// Recorder-enabled plane run: the smoke determinism probe for the
+/// request plane's full metrics export.
+fn plane_metrics(threads: usize) -> String {
+    let (systems, emb, serve_cfg, plane_cfg, tenants) = plane_setup(threads);
+    let rec = Recorder::enabled();
+    let mut plane = RequestPlane::new(&systems, &emb, serve_cfg, plane_cfg)
+        .unwrap()
+        .with_recorder(&rec);
+    plane.run(&tenants);
+    rec.metrics_jsonl()
 }
 
 fn spmm_run() -> Sample {
@@ -501,6 +586,28 @@ fn main() {
     );
     attribute(&mut serving[1], true, || serving_run(8));
 
+    println!("plane workloads:");
+    let mut plane = vec![
+        measure("plane_seq", repeats, &rev, || plane_run(1)),
+        measure("plane_par8", repeats, &rev, || plane_run(8)),
+    ];
+    // The plane loop is sequential over simulated events; wall threads only
+    // parallelize each replica's batch internals, so every simulated
+    // observable must be thread-count independent.
+    assert_eq!(
+        plane[0].sim_ns, plane[1].sim_ns,
+        "thread count changed the plane's simulated clock"
+    );
+    assert_eq!(
+        plane[0].bytes, plane[1].bytes,
+        "thread count changed the plane's byte traffic"
+    );
+    let plane_speedup = record_speedup(&mut plane);
+    println!(
+        "  plane wall speedup at 8 threads: {plane_speedup:.2}x \
+         (recorded, not asserted — 1 on single-core machines)"
+    );
+
     println!("compute workloads:");
     let compute = vec![
         measure("spmm", repeats, &rev, spmm_run),
@@ -545,6 +652,13 @@ fn main() {
             "serve metrics JSONL differs between 1 and 8 threads"
         );
         assert!(!seq.is_empty());
+        let plane_seq = plane_metrics(1);
+        let plane_par = plane_metrics(8);
+        assert_eq!(
+            plane_seq, plane_par,
+            "plane metrics JSONL differs between 1 and 8 threads"
+        );
+        assert!(!plane_seq.is_empty());
         let train_seq = prone_metrics(1);
         let train_par = prone_metrics(8);
         assert_eq!(
@@ -577,7 +691,7 @@ fn main() {
             "profiled smoke runs recorded no pool activity"
         );
         // Schema round-trip of everything we would write.
-        for recs in [&serving, &compute, &training] {
+        for recs in [&serving, &plane, &compute, &training] {
             assert_eq!(&gate_records_from_json(&gate_records_to_json(recs)), recs);
         }
         println!(
@@ -587,15 +701,18 @@ fn main() {
     }
 
     let serving_path = repo_root().join("BENCH_serving.json");
+    let plane_path = repo_root().join("BENCH_plane.json");
     let compute_path = repo_root().join("BENCH_spmm.json");
     let training_path = repo_root().join("BENCH_prone.json");
     if update {
         std::fs::write(&serving_path, gate_records_to_json(&serving)).unwrap();
+        std::fs::write(&plane_path, gate_records_to_json(&plane)).unwrap();
         std::fs::write(&compute_path, gate_records_to_json(&compute)).unwrap();
         std::fs::write(&training_path, gate_records_to_json(&training)).unwrap();
         println!(
-            "baselines updated: {}, {} and {}",
+            "baselines updated: {}, {}, {} and {}",
             serving_path.display(),
+            plane_path.display(),
             compute_path.display(),
             training_path.display()
         );
@@ -607,6 +724,7 @@ fn main() {
 
     println!("baseline comparison (threshold {MAX_REGRESSION:.2}x on wall p50):");
     let regressions = compare(&serving_path, &serving)
+        + compare(&plane_path, &plane)
         + compare(&compute_path, &compute)
         + compare(&training_path, &training);
     if regressions > 0 {

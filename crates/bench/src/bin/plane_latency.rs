@@ -1,0 +1,154 @@
+//! Request-plane throughput vs. tail latency — the open-loop saturation
+//! curve of the replicated serving tier (`omega-plane`). Not a figure of
+//! the paper: it characterizes the admission-controlled front the serving
+//! experiments run behind.
+//!
+//! Sweeps the offered rate across the tier's saturation point at two
+//! replica counts. Each row reports the admission split (`offered =
+//! admitted + rejected`), the terminal split (`admitted = completed +
+//! degraded + dropped`) and the served-latency percentiles, so the table
+//! doubles as a check of both accounting identities. The shape to look
+//! for: past saturation, *served* p99 stays bounded near the deadline
+//! while the drop/degrade counters absorb the overload — the queue never
+//! grows without bound.
+//!
+//! Writes machine-readable rows to `results/plane_latency.jsonl`.
+
+use omega_bench::{print_table, write_results_jsonl, DIM};
+use omega_embed::Embedding;
+use omega_hetmem::{DeviceKind, MemSystem, Placement, SimDuration, Topology};
+use omega_linalg::gaussian_matrix;
+use omega_obs::export::json_line;
+use omega_plane::{PlaneConfig, Priority, RequestPlane, TenantSpec};
+use omega_serve::{Popularity, ServeConfig, WorkloadConfig};
+use serde::Serialize;
+
+const NODES: u32 = 20_000;
+const ROWS_PER_SHARD: usize = 64;
+const CACHE_SHARDS: u64 = 16;
+const SEED: u64 = 42;
+const HORIZON_MS: u64 = 40;
+const DEADLINE_NS: u64 = 2_000_000;
+const TOPK_FRACTION: f64 = 0.2;
+const TOPK_K: usize = 10;
+
+/// One open-loop plane measurement at an offered rate.
+#[derive(Serialize)]
+struct Row {
+    replicas: usize,
+    offered_qps: f64,
+    offered: u64,
+    admitted: u64,
+    rejected_quota: u64,
+    rejected_queue: u64,
+    completed: u64,
+    degraded: u64,
+    dropped: u64,
+    hedged_routes: u64,
+    slo_miss: u64,
+    served_qps: f64,
+    goodput_qps: f64,
+    p50_ns: u64,
+    p95_ns: u64,
+    p99_ns: u64,
+    queue_wait_p99_ns: u64,
+}
+
+fn run(replicas: usize, rate: f64) -> Row {
+    let emb = Embedding::from_matrix(&gaussian_matrix(NODES as usize, DIM, SEED));
+    let shard_bytes = ROWS_PER_SHARD as u64 * DIM as u64 * 4;
+    let systems: Vec<MemSystem> = (0..replicas)
+        .map(|_| {
+            MemSystem::new(Topology::paper_machine_scaled(
+                (2 * CACHE_SHARDS * shard_bytes).max(1 << 20),
+            ))
+        })
+        .collect();
+    let serve_cfg = ServeConfig::new(CACHE_SHARDS * shard_bytes)
+        .rows_per_shard(ROWS_PER_SHARD)
+        .cold(Placement::node(0, DeviceKind::Pm));
+    let plane_cfg = PlaneConfig::new(replicas)
+        .seed(SEED)
+        .horizon(SimDuration::from_secs_f64(HORIZON_MS as f64 * 1e-3));
+    let wl = WorkloadConfig::lookups(NODES, Popularity::Zipf { s: 1.0 }, SEED)
+        .with_topk(TOPK_FRACTION, TOPK_K);
+    let tenants = vec![
+        TenantSpec::poisson("interactive", rate * 0.6, wl)
+            .with_priority(Priority::High)
+            .with_deadline_ns(DEADLINE_NS),
+        TenantSpec::poisson("batch", rate * 0.4, wl)
+            .with_priority(Priority::Low)
+            .with_deadline_ns(DEADLINE_NS * 4),
+    ];
+    let mut plane =
+        RequestPlane::new(&systems, &emb, serve_cfg, plane_cfg).expect("cold tier holds the table");
+    let report = plane.run(&tenants);
+    let s = &report.stats;
+    assert!(s.identity_holds(), "plane accounting identities must hold");
+    Row {
+        replicas,
+        offered_qps: rate,
+        offered: s.offered,
+        admitted: s.admitted,
+        rejected_quota: s.rejected_quota,
+        rejected_queue: s.rejected_queue,
+        completed: s.completed,
+        degraded: s.degraded,
+        dropped: s.dropped,
+        hedged_routes: s.hedged_routes,
+        slo_miss: s.slo_miss,
+        served_qps: report.served_qps(),
+        goodput_qps: report.goodput_qps(),
+        p50_ns: report.latency_percentile_ns(0.50),
+        p95_ns: report.latency_percentile_ns(0.95),
+        p99_ns: report.latency_percentile_ns(0.99),
+        queue_wait_p99_ns: report.queue_wait_percentile_ns(0.99),
+    }
+}
+
+fn table_row(r: &Row) -> Vec<String> {
+    vec![
+        format!("{:.0}", r.offered_qps),
+        r.offered.to_string(),
+        format!("{}/{}", r.rejected_quota + r.rejected_queue, r.admitted),
+        format!("{}/{}/{}", r.completed, r.degraded, r.dropped),
+        format!("{:.0}", r.served_qps),
+        format!("{:.0}", r.goodput_qps),
+        r.p50_ns.to_string(),
+        r.p99_ns.to_string(),
+    ]
+}
+
+const HEADER: [&str; 8] = [
+    "offered qps",
+    "arrived",
+    "rej/adm",
+    "cmp/deg/drp",
+    "served qps",
+    "goodput",
+    "p50 ns",
+    "p99 ns",
+];
+
+const RATES: [f64; 6] = [5_000.0, 10_000.0, 20_000.0, 40_000.0, 80_000.0, 160_000.0];
+
+fn main() {
+    let mut jsonl = String::new();
+    for replicas in [1usize, 4] {
+        let mut rows = Vec::new();
+        for rate in RATES {
+            let r = run(replicas, rate);
+            rows.push(table_row(&r));
+            jsonl.push_str(&json_line(&r));
+        }
+        print_table(
+            &format!(
+                "Plane: open-loop saturation, {replicas} replica(s), zipf-1.0, \
+                 2 ms interactive SLO"
+            ),
+            &HEADER,
+            &rows,
+        );
+    }
+    write_results_jsonl("plane_latency", &jsonl);
+}

@@ -113,15 +113,9 @@ fn write_jsonl_into(dir: &std::path::Path, name: &str, jsonl: &str) -> PathBuf {
 }
 
 /// Nearest-rank percentile of unsorted wall-clock samples (`q` in 0..=1).
-pub fn percentile_u64(samples: &[u64], q: f64) -> u64 {
-    if samples.is_empty() {
-        return 0;
-    }
-    let mut sorted = samples.to_vec();
-    sorted.sort_unstable();
-    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1]
-}
+/// Re-exported from `omega-obs` — the one shared implementation also behind
+/// `ServeReport`'s latency percentiles.
+pub use omega_obs::percentile_u64;
 
 /// Short git revision of the working tree, or `"unknown"` outside a repo.
 pub fn git_rev() -> String {

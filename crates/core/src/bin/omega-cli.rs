@@ -16,6 +16,14 @@
 //!                   [--trace-out trace.json] [--metrics-out metrics.jsonl]
 //!                   [--profile-out stacks.collapsed]
 //! omega-cli profile --input trace.json [--top 20]
+//! omega-cli plane   --replicas 4 --rate 200000 [--horizon-ms 50]
+//!                   [--zipf 1.0 | --uniform] [--nodes 10000 --dim 64]
+//!                   [--seed 42] [--threads 1] [--batch 32] [--max-queue 256]
+//!                   [--deadline-us 2000] [--hedge-wait-us 2000]
+//!                   [--arrival poisson|diurnal|flash] [--topk-fraction 0.2]
+//!                   [--k 10] [--rows-per-shard 64] [--cache-shards 16]
+//!                   [--cold pm|ssd] [--fault-plan plan.txt]
+//!                   [--trace-out trace.json] [--metrics-out metrics.jsonl]
 //! ```
 //!
 //! `--trace-out` writes a Chrome-trace-event JSON of the run's simulated
@@ -68,7 +76,15 @@ const USAGE: &str = "usage:
                      [--fault-plan <file>]
                      [--trace-out <file>] [--metrics-out <file>]
                      [--profile-out <file>]
-  omega-cli profile  --input <trace.json> [--top N]";
+  omega-cli profile  --input <trace.json> [--top N]
+  omega-cli plane    --replicas N --rate QPS [--horizon-ms M]
+                     [--zipf S | --uniform] [--nodes N --dim D] [--seed S]
+                     [--threads T] [--batch B] [--max-queue Q]
+                     [--deadline-us D] [--hedge-wait-us H]
+                     [--arrival poisson|diurnal|flash] [--topk-fraction F]
+                     [--k K] [--rows-per-shard R] [--cache-shards C]
+                     [--cold pm|ssd] [--fault-plan <file>]
+                     [--trace-out <file>] [--metrics-out <file>]";
 
 /// Parsed `--key value` / `--flag` arguments.
 struct Opts {
@@ -127,6 +143,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "generate" => generate(&opts),
         "stats" => stats(&opts),
         "serve" => serve(&opts),
+        "plane" => plane(&opts),
         "profile" => profile(&opts),
         other => Err(format!("unknown command {other:?}")),
     }
@@ -241,30 +258,60 @@ fn embed(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// Reject a value that must be strictly positive, with the flag named in
+/// the error so the user knows what to fix.
+fn require_positive<T: PartialOrd + Default + std::fmt::Display>(
+    value: T,
+    flag: &str,
+) -> Result<T, String> {
+    if value <= T::default() {
+        Err(format!("--{flag} must be positive (got {value})"))
+    } else {
+        Ok(value)
+    }
+}
+
+/// The serve/plane popularity flags: `--zipf S` and `--uniform` are
+/// mutually exclusive, and naming both is an error rather than a silent
+/// preference.
+fn parse_popularity(opts: &Opts) -> Result<omega::serve::Popularity, String> {
+    use omega::serve::Popularity;
+    if opts.flag("uniform") && opts.values.contains_key("zipf") {
+        return Err("--zipf and --uniform are mutually exclusive".into());
+    }
+    if opts.flag("uniform") {
+        Ok(Popularity::Uniform)
+    } else {
+        Ok(Popularity::Zipf {
+            s: opts.get_or("zipf", 1.0)?,
+        })
+    }
+}
+
 /// Serve point-lookup / top-k traffic against an embedding on the simulated
 /// tiered machine and report dual-clock latency percentiles. The whole run
 /// is deterministic in `--seed`: same seed, same metrics JSONL bytes.
 fn serve(opts: &Opts) -> Result<(), String> {
     use omega::hetmem::{DeviceKind, MemSystem, Placement, Topology};
-    use omega::serve::{EmbedServer, Popularity, RequestStream, ServeConfig, WorkloadConfig};
+    use omega::serve::{EmbedServer, RequestStream, ServeConfig, WorkloadConfig};
 
-    let requests: usize = opts.get_or("requests", 10_000)?;
+    let requests: usize = require_positive(opts.get_or("requests", 10_000)?, "requests")?;
     let seed: u64 = opts.get_or("seed", 42)?;
-    let rows_per_shard: usize = opts.get_or("rows-per-shard", 64)?;
-    let cache_shards: u64 = opts.get_or("cache-shards", 16)?;
-    let batch: usize = opts.get_or("batch", 64)?;
+    let rows_per_shard: usize =
+        require_positive(opts.get_or("rows-per-shard", 64)?, "rows-per-shard")?;
+    let cache_shards: u64 = require_positive(opts.get_or("cache-shards", 16)?, "cache-shards")?;
+    let batch: usize = require_positive(opts.get_or("batch", 64)?, "batch")?;
     // Worker-pool width for per-shard batch work: a wall-clock knob only —
     // simulated latencies and metrics are identical at every value.
-    let threads: usize = opts.get_or("threads", 1)?;
+    let threads: usize = require_positive(opts.get_or("threads", 1)?, "threads")?;
     let topk_fraction: f64 = opts.get_or("topk-fraction", 0.0)?;
-    let k: usize = opts.get_or("k", 10)?;
-    let popularity = if opts.flag("uniform") {
-        Popularity::Uniform
-    } else {
-        Popularity::Zipf {
-            s: opts.get_or("zipf", 1.0)?,
-        }
-    };
+    if !(0.0..=1.0).contains(&topk_fraction) {
+        return Err(format!(
+            "--topk-fraction must be in [0, 1] (got {topk_fraction})"
+        ));
+    }
+    let k: usize = require_positive(opts.get_or("k", 10)?, "k")?;
+    let popularity = parse_popularity(opts)?;
     let cold_device = match opts.values.get("cold").map(String::as_str).unwrap_or("pm") {
         "pm" => DeviceKind::Pm,
         "ssd" => DeviceKind::Ssd,
@@ -393,6 +440,191 @@ fn serve(opts: &Opts) -> Result<(), String> {
     if let Some(path) = profile_out {
         write_collapsed(&path, &rec, &prof)?;
     }
+    if let Some(path) = trace_out {
+        std::fs::write(&path, rec.chrome_trace_json())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote trace {path} (load in Perfetto / chrome://tracing)");
+    }
+    if let Some(path) = metrics_out {
+        std::fs::write(&path, rec.metrics_jsonl()).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote metrics {path}");
+    }
+    Ok(())
+}
+
+/// Run the open-loop request plane: a two-tenant mix (high-priority
+/// `interactive` at 60 % of `--rate`, low-priority `batch` at 40 %) through
+/// admission control onto `--replicas` consistent-hash-routed servers.
+/// Deterministic in `--seed`: same seed, same metrics JSONL bytes at any
+/// `--threads` value.
+fn plane(opts: &Opts) -> Result<(), String> {
+    use omega::hetmem::{DeviceKind, MemSystem, Placement, SimDuration, Topology};
+    use omega::plane::{ArrivalProcess, PlaneConfig, Priority, RequestPlane, TenantSpec};
+    use omega::serve::{ServeConfig, WorkloadConfig};
+
+    let replicas: usize = require_positive(opts.get_or("replicas", 2)?, "replicas")?;
+    let rate: f64 = require_positive(opts.get_or("rate", 50_000.0)?, "rate")?;
+    let horizon_ms: u64 = require_positive(opts.get_or("horizon-ms", 50)?, "horizon-ms")?;
+    let seed: u64 = opts.get_or("seed", 42)?;
+    let threads: usize = require_positive(opts.get_or("threads", 1)?, "threads")?;
+    let batch: usize = require_positive(opts.get_or("batch", 32)?, "batch")?;
+    let max_queue: usize = require_positive(opts.get_or("max-queue", 256)?, "max-queue")?;
+    let deadline_us: u64 = require_positive(opts.get_or("deadline-us", 2_000)?, "deadline-us")?;
+    let hedge_wait_us: u64 =
+        require_positive(opts.get_or("hedge-wait-us", 2_000)?, "hedge-wait-us")?;
+    let rows_per_shard: usize =
+        require_positive(opts.get_or("rows-per-shard", 64)?, "rows-per-shard")?;
+    let cache_shards: u64 = require_positive(opts.get_or("cache-shards", 16)?, "cache-shards")?;
+    let topk_fraction: f64 = opts.get_or("topk-fraction", 0.2)?;
+    if !(0.0..=1.0).contains(&topk_fraction) {
+        return Err(format!(
+            "--topk-fraction must be in [0, 1] (got {topk_fraction})"
+        ));
+    }
+    let k: usize = require_positive(opts.get_or("k", 10)?, "k")?;
+    let popularity = parse_popularity(opts)?;
+    let cold_device = match opts.values.get("cold").map(String::as_str).unwrap_or("pm") {
+        "pm" => DeviceKind::Pm,
+        "ssd" => DeviceKind::Ssd,
+        other => return Err(format!("unknown --cold {other:?} (pm|ssd)")),
+    };
+    let horizon_s = horizon_ms as f64 * 1e-3;
+    // The low-priority tenant's arrival shape; `interactive` stays Poisson.
+    let batch_process = match opts
+        .values
+        .get("arrival")
+        .map(String::as_str)
+        .unwrap_or("poisson")
+    {
+        "poisson" => ArrivalProcess::Poisson {
+            rate_per_s: rate * 0.4,
+        },
+        "diurnal" => ArrivalProcess::Diurnal {
+            base_rate_per_s: rate * 0.1,
+            peak_rate_per_s: rate * 0.7,
+            period_s: horizon_s,
+        },
+        "flash" => ArrivalProcess::FlashCrowd {
+            base_rate_per_s: rate * 0.2,
+            spike_rate_per_s: rate * 4.0,
+            spike_start_s: horizon_s * 0.4,
+            spike_len_s: horizon_s * 0.2,
+        },
+        other => {
+            return Err(format!(
+                "unknown --arrival {other:?} (poisson|diurnal|flash)"
+            ))
+        }
+    };
+
+    let nodes: usize = require_positive(opts.get_or("nodes", 10_000)?, "nodes")?;
+    let dim: usize = require_positive(opts.get_or("dim", 64)?, "dim")?;
+    let emb = omega::Embedding::from_matrix(&omega::linalg::gaussian_matrix(nodes, dim, seed));
+    eprintln!(
+        "plane: {replicas} replica(s), {} nodes x {} dims, {rate:.0} req/s offered over {horizon_ms} ms",
+        emb.nodes(),
+        emb.dim()
+    );
+
+    let shard_bytes = rows_per_shard as u64 * emb.dim() as u64 * 4;
+    let table_bytes = emb.nodes() as u64 * emb.dim() as u64 * 4;
+    let dram = (2 * cache_shards * shard_bytes)
+        .max(table_bytes.div_ceil(8))
+        .max(1 << 16);
+    let fault_plan = opts.values.get("fault-plan").cloned();
+    let systems: Vec<MemSystem> = (0..replicas)
+        .map(|_| {
+            let sys = MemSystem::new(Topology::paper_machine_scaled(dram));
+            match &fault_plan {
+                Some(path) => {
+                    let text = std::fs::read_to_string(path)
+                        .map_err(|e| format!("reading {path}: {e}"))?;
+                    let spec = omega::faults::FaultPlanSpec::parse(&text)
+                        .map_err(|e| format!("{path}: {e}"))?;
+                    Ok(omega::faults::install_plan(&sys, spec))
+                }
+                None => Ok(sys),
+            }
+        })
+        .collect::<Result<_, String>>()?;
+
+    let serve_cfg = ServeConfig::new(cache_shards * shard_bytes)
+        .rows_per_shard(rows_per_shard)
+        .cold(Placement::node(0, cold_device))
+        .batch_size(batch)
+        .threads(threads);
+    let plane_cfg = PlaneConfig::new(replicas)
+        .seed(seed)
+        .horizon(SimDuration::from_secs_f64(horizon_s))
+        .batch_size(batch)
+        .max_queue(max_queue)
+        .hedge_wait_ns(hedge_wait_us * 1_000);
+
+    let wl = WorkloadConfig::lookups(emb.nodes(), popularity, seed).with_topk(topk_fraction, k);
+    let tenants = vec![
+        TenantSpec::poisson("interactive", rate * 0.6, wl)
+            .with_priority(Priority::High)
+            .with_deadline_ns(deadline_us * 1_000),
+        TenantSpec::poisson("batch", rate * 0.4, wl)
+            .with_priority(Priority::Low)
+            .with_deadline_ns(deadline_us * 4_000)
+            .with_process(batch_process),
+    ];
+
+    let trace_out = opts.values.get("trace-out").cloned();
+    let metrics_out = opts.values.get("metrics-out").cloned();
+    let rec = if trace_out.is_some() || metrics_out.is_some() {
+        Recorder::enabled()
+    } else {
+        Recorder::disabled()
+    };
+
+    let mut plane = RequestPlane::new(&systems, &emb, serve_cfg, plane_cfg)
+        .map_err(|e| format!("placing shards on {cold_device:?}: {e}"))?
+        .with_recorder(&rec);
+    let report = plane.run(&tenants);
+
+    let s = &report.stats;
+    println!("offered           {}", s.offered);
+    println!(
+        "admission         {} admitted, {} quota-rejected, {} queue-rejected",
+        s.admitted, s.rejected_quota, s.rejected_queue
+    );
+    println!(
+        "terminal          {} completed + {} degraded + {} dropped = {} admitted",
+        s.completed, s.degraded, s.dropped, s.admitted
+    );
+    println!(
+        "degrades          {} halved-k, {} topk->get",
+        s.degraded_reduced_k, s.degraded_to_get
+    );
+    println!(
+        "routing           {} hedged to ring successor",
+        s.hedged_routes
+    );
+    println!("slo               {} served past deadline", s.slo_miss);
+    println!(
+        "throughput        {:.0} served/s, {:.0} goodput/s (simulated)",
+        report.served_qps(),
+        report.goodput_qps()
+    );
+    println!(
+        "latency (sim ns)  p50 {}  p95 {}  p99 {}",
+        report.latency_percentile_ns(0.50),
+        report.latency_percentile_ns(0.95),
+        report.latency_percentile_ns(0.99)
+    );
+    println!(
+        "queue wait (ns)   p50 {}  p99 {}",
+        report.queue_wait_percentile_ns(0.50),
+        report.queue_wait_percentile_ns(0.99)
+    );
+    if !s.identity_holds() {
+        return Err(
+            "terminal-state identity violated (admitted != completed + degraded + dropped)".into(),
+        );
+    }
+
     if let Some(path) = trace_out {
         std::fs::write(&path, rec.chrome_trace_json())
             .map_err(|e| format!("writing {path}: {e}"))?;
@@ -554,6 +786,74 @@ mod tests {
     fn unknown_command_errors() {
         assert!(run(&s(&["frobnicate"])).is_err());
         assert!(run(&s(&[])).is_err());
+    }
+
+    #[test]
+    fn conflicting_and_degenerate_flags_are_rejected() {
+        let err = run(&s(&["serve", "--zipf", "1.1", "--uniform"])).unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+        let err = run(&s(&["plane", "--zipf", "1.1", "--uniform"])).unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+        let err = run(&s(&["serve", "--requests", "0"])).unwrap_err();
+        assert!(err.contains("--requests must be positive"), "{err}");
+        let err = run(&s(&["plane", "--replicas", "0"])).unwrap_err();
+        assert!(err.contains("--replicas must be positive"), "{err}");
+        let err = run(&s(&["plane", "--rate", "-5"])).unwrap_err();
+        assert!(err.contains("--rate must be positive"), "{err}");
+        let err = run(&s(&["plane", "--arrival", "lumpy"])).unwrap_err();
+        assert!(err.contains("unknown --arrival"), "{err}");
+        let err = run(&s(&["serve", "--topk-fraction", "1.5"])).unwrap_err();
+        assert!(err.contains("--topk-fraction"), "{err}");
+    }
+
+    #[test]
+    fn plane_metrics_are_deterministic_across_wall_threads() {
+        let dir = std::env::temp_dir().join("omega_cli_plane_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let m1 = dir.join("m1.jsonl");
+        let m8 = dir.join("m8.jsonl");
+        let plane_args = |threads: &str, out: &std::path::Path| {
+            s(&[
+                "plane",
+                "--replicas",
+                "3",
+                "--rate",
+                "30000",
+                "--horizon-ms",
+                "20",
+                "--nodes",
+                "600",
+                "--dim",
+                "8",
+                "--seed",
+                "11",
+                "--threads",
+                threads,
+                "--metrics-out",
+                out.to_str().unwrap(),
+            ])
+        };
+        run(&plane_args("1", &m1)).unwrap();
+        run(&plane_args("8", &m8)).unwrap();
+        let bytes = std::fs::read(&m1).unwrap();
+        assert_eq!(
+            bytes,
+            std::fs::read(&m8).unwrap(),
+            "plane metrics must be wall-thread independent"
+        );
+        let rows =
+            omega::obs::export::parse_metrics_jsonl(std::str::from_utf8(&bytes).unwrap()).unwrap();
+        let counter = |name: &str| {
+            rows.iter()
+                .find(|(k, n, _)| k == "counter" && n == name)
+                .map(|(_, _, v)| *v)
+                .unwrap_or_else(|| panic!("missing counter {name}"))
+        };
+        assert_eq!(
+            counter("plane.admitted"),
+            counter("plane.completed") + counter("plane.degraded") + counter("plane.dropped"),
+            "terminal-state identity must hold in the exported metrics"
+        );
     }
 
     #[test]

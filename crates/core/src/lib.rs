@@ -47,6 +47,7 @@ pub use omega_hetmem as hetmem;
 pub use omega_linalg as linalg;
 pub use omega_obs as obs;
 pub use omega_par as par;
+pub use omega_plane as plane;
 pub use omega_serve as serve;
 pub use omega_spmm as spmm;
 

@@ -1,28 +1,36 @@
-//! Cluster interconnect model for the distributed baselines
-//! (DistDGL / DistGER, Fig. 18(a)).
+//! Cluster interconnect model: the shared [`NetModel`] latency/bandwidth
+//! parameters used by the distributed baselines (DistDGL / DistGER,
+//! Fig. 18(a)) and by the `omega-plane` request plane's replica routing.
 //!
 //! The paper's distributed competitors run on a four-machine cluster; their
 //! end-to-end times are dominated by traffic volume (gradient synchronisation
 //! for DistDGL, walk/message exchange for DistGER) over a datacenter
 //! network. This module models that: machines with private memory connected
-//! by a bandwidth/latency link, with collective-communication helpers.
+//! by a bandwidth/latency link, with collective-communication helpers. The
+//! same link model charges the request plane's front-to-replica RPC hops,
+//! so serving and training traffic share one set of network parameters.
 
 use crate::clock::SimDuration;
 use serde::{Deserialize, Serialize};
 
-/// A full-duplex network link between cluster machines.
+/// A full-duplex network link between cluster machines — the one shared
+/// latency/bandwidth parameter set for every simulated network in the
+/// workspace (distributed baselines and the serving request plane alike).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct NetworkModel {
+pub struct NetModel {
     /// Per-machine NIC bandwidth in GiB/s (10 GbE ≈ 1.16, 25 GbE ≈ 2.9).
     pub bandwidth_gib_s: f64,
     /// One-way message latency in microseconds.
     pub latency_us: f64,
 }
 
-impl NetworkModel {
+/// Former name of [`NetModel`], kept so existing call sites keep compiling.
+pub type NetworkModel = NetModel;
+
+impl NetModel {
     /// A 25 GbE datacenter network, typical of the paper's cluster era.
     pub fn datacenter_25gbe() -> Self {
-        NetworkModel {
+        NetModel {
             bandwidth_gib_s: 2.9,
             latency_us: 20.0,
         }
@@ -34,6 +42,19 @@ impl NetworkModel {
         let ns = bytes as f64 / (self.bandwidth_gib_s * GIB) * 1e9
             + messages as f64 * self.latency_us * 1_000.0;
         SimDuration::from_nanos(ns.round() as u64)
+    }
+
+    /// One request/response RPC: `request_bytes` one way, `response_bytes`
+    /// back, each paying a message latency (the request plane's
+    /// front-to-replica hop).
+    pub fn rpc_time(&self, request_bytes: u64, response_bytes: u64) -> SimDuration {
+        self.transfer_time(request_bytes + response_bytes, 2)
+    }
+
+    /// A one-way forward of `bytes` (the extra hop a hedged/rerouted
+    /// request pays to reach a non-primary replica).
+    pub fn forward_time(&self, bytes: u64) -> SimDuration {
+        self.transfer_time(bytes, 1)
     }
 }
 

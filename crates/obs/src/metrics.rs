@@ -52,6 +52,20 @@ impl Histogram {
     }
 }
 
+/// Nearest-rank percentile of unsorted `u64` samples, `q` in `0..=1`
+/// (clamped). Returns 0 on an empty slice; `q = 0` is the minimum and
+/// `q = 1` the maximum. This is the single shared implementation behind
+/// `ServeReport`'s latency percentiles and `omega-bench`'s gate records.
+pub fn percentile_u64(samples: &[u64], q: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = (q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
 /// Registry state (owned by the recorder).
 #[derive(Debug, Default)]
 pub struct Registry {
@@ -150,6 +164,35 @@ mod tests {
         assert_eq!(h.max, 10.0);
         assert!((h.mean() - 4.0).abs() < 1e-12);
         assert_eq!(h.buckets.iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn percentile_nearest_rank_edge_cases() {
+        // Empty: always 0, at every q.
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(percentile_u64(&[], q), 0);
+        }
+        // Single sample: that sample, at every q.
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(percentile_u64(&[7], q), 7);
+        }
+        // All-equal: the common value, at every q.
+        let equal = [9u64; 16];
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(percentile_u64(&equal, q), 9);
+        }
+        // Nearest-rank on 1..=100: p50 = 50, p95 = 95, p99 = 99.
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_u64(&v, 0.50), 50);
+        assert_eq!(percentile_u64(&v, 0.95), 95);
+        assert_eq!(percentile_u64(&v, 0.99), 99);
+        assert_eq!(percentile_u64(&v, 1.0), 100);
+        assert_eq!(percentile_u64(&v, 0.0), 1);
+        // Out-of-range q is clamped.
+        assert_eq!(percentile_u64(&v, -1.0), 1);
+        assert_eq!(percentile_u64(&v, 2.0), 100);
+        // Unsorted input is handled.
+        assert_eq!(percentile_u64(&[30, 10, 50, 20, 40], 0.5), 30);
     }
 
     #[test]

@@ -1,0 +1,73 @@
+//! # omega-plane — the admission-controlled request plane
+//!
+//! The serving stack in `omega-serve` answers a *closed-loop* stream: one
+//! client, one [`EmbedServer`], the next request issued only after the
+//! previous answer returns. Production traffic is nothing like that — it
+//! is open-loop (users do not wait for each other), multi-tenant, bursty,
+//! and pointed at a *tier* of replicas. This crate is that front half:
+//!
+//! * [`arrivals`] — seeded open-loop traffic: Poisson, diurnal and
+//!   flash-crowd [`ArrivalProcess`]es per tenant, layered over the
+//!   existing `workload::Popularity` skews; every request carries a
+//!   tenant, a priority, and a simulated-ns deadline.
+//! * [`admission`] — the front door: per-tenant token-bucket quotas with
+//!   a high-priority overdraft, and priority-tiered queue-depth shedding,
+//!   so queues stay bounded no matter the offered load.
+//! * [`router`] — consistent-hash routing of shards onto replicas with a
+//!   deterministic hedge to the ring successor when the primary's
+//!   estimated wait is too long.
+//! * [`engine`] — the event-driven [`RequestPlane`]: dispatches
+//!   priority-ordered batches to N [`EmbedServer`] replicas, charges
+//!   front-to-replica RPCs through the shared
+//!   [`NetModel`](omega_hetmem::NetModel) (the same link parameters the
+//!   distributed baselines use), and applies SLO-aware deadline
+//!   scheduling — late work is dropped or degraded (halved `k`, or a
+//!   point lookup instead of a scan), never queued unboundedly.
+//!
+//! ## Determinism
+//!
+//! Same seed ⇒ byte-identical metrics JSONL at any wall-thread count.
+//! Arrival and routing draws are keyed SplitMix64 streams over
+//! `(seed, tenant, request index)` and `(replica, vnode)` — pure
+//! functions of *what* is processed, never of scheduling. The engine
+//! loop is sequential over simulated events; the replicas' worker pools
+//! (the [`ServeConfig::threads`] knob) change wall time only. Every
+//! admitted request reaches exactly one terminal state, so
+//! `admitted == completed + degraded + dropped` — the identity the
+//! integration suite pins alongside golden metrics bytes.
+//!
+//! ```
+//! use omega_hetmem::{MemSystem, SimDuration, Topology};
+//! use omega_plane::{PlaneConfig, Priority, RequestPlane, TenantSpec};
+//! use omega_serve::{Popularity, ServeConfig, WorkloadConfig};
+//!
+//! let emb = omega_embed::Embedding::from_row_major(256, 4, vec![0.5; 256 * 4]);
+//! let systems: Vec<MemSystem> = (0..2)
+//!     .map(|_| MemSystem::new(Topology::paper_machine_scaled(8 << 20)))
+//!     .collect();
+//! let cfg = PlaneConfig::new(2).horizon(SimDuration::from_secs_f64(0.01));
+//! let mut plane = RequestPlane::new(&systems, &emb, ServeConfig::new(4096), cfg).unwrap();
+//! let wl = WorkloadConfig::lookups(256, Popularity::Zipf { s: 1.0 }, 42);
+//! let tenants = vec![
+//!     TenantSpec::poisson("interactive", 2_000.0, wl).with_priority(Priority::High),
+//!     TenantSpec::poisson("batch", 1_000.0, wl).with_priority(Priority::Low),
+//! ];
+//! let report = plane.run(&tenants);
+//! assert!(report.stats.identity_holds());
+//! assert_eq!(report.stats.offered, report.stats.admitted
+//!     + report.stats.rejected_quota + report.stats.rejected_queue);
+//! ```
+
+pub mod admission;
+pub mod arrivals;
+pub mod engine;
+pub mod router;
+
+pub use admission::{Admission, TokenBucket, Verdict};
+pub use arrivals::{generate_timeline, ArrivalProcess, PlaneRequest, Priority, TenantSpec};
+pub use engine::{PlaneConfig, PlaneReport, PlaneStats, RequestPlane};
+pub use router::Ring;
+
+// Doc-link anchors used by the crate docs above.
+#[allow(unused_imports)]
+use omega_serve::{EmbedServer, ServeConfig};

@@ -223,15 +223,7 @@ impl ServeReport {
     }
 }
 
-fn percentile(values: &[u64], q: f64) -> u64 {
-    if values.is_empty() {
-        return 0;
-    }
-    let mut sorted = values.to_vec();
-    sorted.sort_unstable();
-    let rank = (q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.max(1) - 1]
-}
+use omega_obs::percentile_u64 as percentile;
 
 /// Fault-stream tags for worker-task contexts (see
 /// [`ThreadMem::set_fault_stream`]): each task draws fault verdicts from a
