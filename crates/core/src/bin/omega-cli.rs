@@ -1056,7 +1056,13 @@ mod tests {
             v
         };
         run(&serve_args(&m1, false)).unwrap();
-        run(&serve_args(&m2, true)).unwrap();
+        // Pin the dispatch policy for the profiled run: the bridged
+        // `pool:` frames asserted below need real pool calls even on
+        // single-core hosts, where the default adaptive policy would
+        // (correctly) keep these tiny serve fan-outs inline.
+        omega::par::with_dispatch_policy(omega::par::DispatchPolicy::always_parallel(), || {
+            run(&serve_args(&m2, true)).unwrap()
+        });
         // Profiling is wall-clock-only: metrics bytes must not move.
         assert_eq!(
             std::fs::read(&m1).unwrap(),

@@ -95,6 +95,37 @@ impl MemSystem {
         self.attach_hook(ThreadMem::new(node, self.topology().nodes()))
     }
 
+    /// Recycle a pooled context: reuse `slot`'s `ThreadMem` when it is
+    /// interchangeable with a fresh [`thread_ctx_on`]`(node)` (same node,
+    /// socket count, and fault-hook identity), otherwise replace it.
+    /// Either way the returned context is fully [`ThreadMem::reset`] —
+    /// observationally identical to a fresh one, without re-running
+    /// construction or hook attachment on every task.
+    ///
+    /// This is the reuse boundary the persistent worker pool relies on:
+    /// scratch arenas keep one `Option<ThreadMem>` per thread alive
+    /// across pool calls, and recycling preserves byte-identical fault
+    /// schedules because verdicts depend only on reset state.
+    ///
+    /// [`thread_ctx_on`]: MemSystem::thread_ctx_on
+    pub fn recycle_ctx_on<'s>(
+        &self,
+        slot: &'s mut Option<ThreadMem>,
+        node: NodeId,
+    ) -> &'s mut ThreadMem {
+        let sockets = self.topology().nodes();
+        let reusable = slot
+            .as_ref()
+            .is_some_and(|ctx| ctx.matches(node, sockets, self.fault_hook.as_ref()));
+        if reusable {
+            let ctx = slot.as_mut().expect("checked above");
+            ctx.reset();
+            ctx
+        } else {
+            slot.insert(self.thread_ctx_on(node))
+        }
+    }
+
     fn attach_hook(&self, ctx: ThreadMem) -> ThreadMem {
         match &self.fault_hook {
             Some(hook) => ctx.with_hook(hook.clone()),

@@ -169,6 +169,41 @@ impl ThreadMem {
         self
     }
 
+    /// Reset every piece of per-task state — counters, simulated clock,
+    /// fault-consult ordinal, injected penalty, parked error — while
+    /// keeping the binding (node, sockets, fault hook).
+    ///
+    /// After a reset the context is observationally identical to a fresh
+    /// one from the same [`crate::MemSystem`]: fault verdicts are a pure
+    /// function of `(plan, sim_now + penalty, consult ordinal, access)`,
+    /// and all four inputs are restored to their initial state. This is
+    /// what lets pooled workers recycle one `ThreadMem` across tasks and
+    /// across pool calls with byte-identical schedules (the cross-call
+    /// reuse proptests pin this equivalence).
+    pub fn reset(&mut self) {
+        self.counters = ClassCounters::default();
+        self.sim_now = SimDuration::ZERO;
+        self.fault_seq = 0;
+        self.penalty = SimDuration::ZERO;
+        self.pending = None;
+    }
+
+    /// Whether this context is interchangeable (after [`reset`]) with a
+    /// fresh context bound to `node` on a `sockets`-node machine with the
+    /// given fault hook. Hooks compare by identity: two plans with equal
+    /// rules are still distinct schedules.
+    ///
+    /// [`reset`]: ThreadMem::reset
+    pub fn matches(&self, node: NodeId, sockets: usize, hook: Option<&Arc<dyn FaultHook>>) -> bool {
+        self.node == node
+            && self.sockets == sockets.max(1)
+            && match (&self.hook, hook) {
+                (None, None) => true,
+                (Some(a), Some(b)) => Arc::as_ptr(a) as *const () == Arc::as_ptr(b) as *const (),
+                _ => false,
+            }
+    }
+
     /// Set the simulated clock the hook sees (consumers with a notion of
     /// "now", like the serve loop, align it before charging).
     pub fn set_sim_now(&mut self, now: SimDuration) {

@@ -178,8 +178,10 @@ pub fn collapsed_stacks(spans: &[SpanRecord]) -> String {
 /// Per call and worker this records a `pool:<label>` span covering the
 /// worker's loop interval, `pool.task` child spans for the stored task
 /// intervals (self time of `pool:<label>` therefore reads as idle), and
-/// `pool.barrier` spans covering spawn delay and join tail. Simulated
-/// time is untouched: every bridged span carries zero simulated duration.
+/// `pool.barrier` spans covering the park-to-claim latency (persistent
+/// workers park between calls; the pre-loop gap is wake-up, not spawn)
+/// and join tail. Simulated time is untouched: every bridged span
+/// carries zero simulated duration.
 pub fn record_pool_timeline(rec: &Recorder, prof: &omega_par::PoolProfiler, pid: u32) {
     if !rec.is_enabled() || !prof.is_enabled() {
         return;
@@ -197,7 +199,7 @@ pub fn record_pool_timeline(rec: &Recorder, prof: &omega_par::PoolProfiler, pid:
                     call.start_us,
                     tl.loop_start_us - call.start_us,
                     0,
-                    vec![("kind".to_string(), "spawn".to_string())],
+                    vec![("kind".to_string(), "park".to_string())],
                 );
             }
             // Children before parent: the tree walk expects completion
@@ -224,6 +226,8 @@ pub fn record_pool_timeline(rec: &Recorder, prof: &omega_par::PoolProfiler, pid:
                     ("tasks".to_string(), tl.task_count.to_string()),
                     ("exec_ns".to_string(), tl.exec_ns.to_string()),
                     ("idle_ns".to_string(), tl.idle_ns.to_string()),
+                    ("park_ns".to_string(), tl.park_ns.to_string()),
+                    ("steals".to_string(), tl.steals.to_string()),
                 ],
             );
             if call.end_us > tl.loop_end_us {
@@ -330,13 +334,16 @@ mod tests {
     #[test]
     fn pool_timeline_bridge_emits_zero_sim_spans() {
         let prof = omega_par::PoolProfiler::enabled();
-        {
+        // Pin the dispatch policy: the bridge needs a real pool call even
+        // on single-core hosts, where the default adaptive policy would
+        // (correctly) keep this tiny job inline.
+        omega_par::with_dispatch_policy(omega_par::DispatchPolicy::always_parallel(), || {
             let _guard = omega_par::install(&prof);
             let _: Vec<usize> = omega_par::run_labeled("bridge.site", 2, 8, |_: &mut (), i| {
                 std::thread::sleep(std::time::Duration::from_micros(50));
                 i
             });
-        }
+        });
         let rec = Recorder::enabled();
         record_pool_timeline(&rec, &prof, 9);
         let spans = rec.spans();

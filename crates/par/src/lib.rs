@@ -1,9 +1,9 @@
-//! # omega-par — a tiny scoped work-stealing pool with a determinism contract
+//! # omega-par — a persistent work-stealing pool with a determinism contract
 //!
 //! One pool implementation shared by every parallel path in the workspace:
 //! per-shard serving tasks (`omega-serve`), SpMM column-batch workloads
-//! (`omega-spmm`), blocked dense kernels (`omega-linalg`), and walk-corpus
-//! generation (`omega-walk`).
+//! (`omega-spmm`), blocked dense kernels (`omega-linalg`), walk-corpus
+//! generation (`omega-walk`), and the request plane (`omega-plane`).
 //!
 //! The parallelism contract is strict: worker threads may only *compute* —
 //! charge their own `omega_hetmem::ThreadMem` contexts, score rows, stage
@@ -14,139 +14,164 @@
 //! hands back the results **indexed by input position**, regardless of
 //! which worker ran what when.
 //!
-//! With `threads <= 1` (or a single task) the closure runs inline on the
-//! caller's thread, in index order — the same code path the parallel
-//! workers execute, so results are identical at every thread count by
-//! construction and the sequential configuration pays zero synchronisation.
+//! ## Execution model
+//!
+//! Parallel calls dispatch onto one process-wide **persistent pool**
+//! ([`pool`]): long-lived workers parked on a condvar between calls, the
+//! caller participating as slot 0, and per-slot **range deques** claimed
+//! ascending by their owner and stolen descending by everyone else — so
+//! skewed task costs (a cold shard retrying through a fault plan amid
+//! cache hits) rebalance without a shared claim counter, and a call pays
+//! a wake + a latch instead of a spawn + join. Worker-local scratch `S`
+//! lives in per-thread arenas that survive across calls, amortising
+//! score-buffer and `ThreadMem` setup over the whole run.
+//!
+//! Small calls never touch the pool: an adaptive per-site estimate of
+//! task cost (see [`pool::DispatchPolicy`]) routes below-cutoff work —
+//! and every call on a single-core host — through the inline path, the
+//! same code the parallel slots execute, attributed via the profiler's
+//! sequential-call accounting. Which path runs is a pure wall-clock
+//! decision: results are bit-identical at every thread count and under
+//! every steal interleaving by construction, because work items partition
+//! only output indices and merges happen in index order on the caller.
 //!
 //! [`for_each_chunk`] is the in-place companion for element-wise kernels:
 //! it applies a closure to a list of disjoint mutable chunks (e.g.
 //! `chunks_mut` of a matrix buffer). Because the chunk boundaries are
-//! chosen by the caller — never by the thread count — and each element is
-//! touched by exactly one closure invocation, the result is bit-identical
-//! at every worker count there too.
+//! chosen by the caller — never by the thread count — and each chunk
+//! index is claimed exactly once, the result is bit-identical at every
+//! worker count there too.
 //!
 //! ## Profiling
 //!
 //! The [`profile`] module adds opt-in wall-clock attribution: install a
 //! [`PoolProfiler`] on the calling thread and every pool call decomposes
-//! into execute/idle/barrier intervals per worker, attributed to the
-//! innermost [`phase_scope`] (or the call site's label from
-//! [`run_labeled`] / [`for_each_chunk_labeled`]). Profiling observes wall
-//! time only — results, ordering, and everything downstream of the
-//! simulated clock are untouched, at any thread count.
+//! into execute/idle/park/barrier intervals per worker slot (plus steal
+//! counts), attributed to the innermost [`phase_scope`] (or the call
+//! site's label from [`run_labeled`] / [`for_each_chunk_labeled`]).
+//! Profiling observes wall time only — results, ordering, and everything
+//! downstream of the simulated clock are untouched, at any thread count.
 
+pub mod pool;
 pub mod profile;
 
+pub use pool::{
+    prime_task_estimate, task_estimate, with_dispatch_policy, with_scratch, DispatchPolicy,
+    MAX_WORKER_SLOTS, SEQ_CUTOFF_NS,
+};
 pub use profile::{
     install, phase_scope, record_seq, PoolCallRecord, PoolProfile, PoolProfiler, ProfilerGuard,
     WorkerTimeline,
 };
 
-use profile::{CallMeter, WorkerMeter};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use profile::CallMeter;
+use std::time::Instant;
+
+/// Raw view of the per-index result slots: each index is claimed exactly
+/// once across all pool slots, so each `Option<T>` cell is written by
+/// exactly one task and read only after the dispatch latch.
+struct ResultSlots<T> {
+    ptr: *mut Option<T>,
+}
+
+unsafe impl<T: Send> Send for ResultSlots<T> {}
+unsafe impl<T: Send> Sync for ResultSlots<T> {}
+
+impl<T> ResultSlots<T> {
+    /// # Safety
+    /// `i` must be in bounds and claimed by exactly one task (the range
+    /// deques guarantee this), and the backing vec must outlive the
+    /// dispatch (the caller blocks on the completion latch).
+    unsafe fn store(&self, i: usize, value: T) {
+        unsafe { *self.ptr.add(i) = Some(value) };
+    }
+}
 
 /// Evaluate `f(scratch, i)` for every `i in 0..n` on up to `threads`
 /// workers and return the results in index order.
 ///
-/// `S` is worker-local scratch (e.g. a score buffer): each worker
-/// materialises one `S::default()` and reuses it across every task it
-/// steals, so per-task allocations are amortised without sharing state.
+/// `S` is worker-local scratch (e.g. a score buffer or a reusable
+/// `ThreadMem` context): each participating thread owns one `S` in a
+/// persistent arena reused across every task it claims **and across pool
+/// calls**, so per-task setup is amortised without sharing state. Scratch
+/// is dirty on entry — `f` must initialise whatever it reads.
 ///
-/// Tasks are claimed from a shared atomic counter (work stealing by
-/// competition), which keeps workers busy when task costs are skewed —
-/// e.g. one cold shard retrying through a fault plan while the rest are
-/// cache hits. A panicking task propagates to the caller via the scope.
+/// Tasks live in per-slot range deques (owner pops ascending, idle slots
+/// steal descending), which keeps workers busy when task costs are skewed
+/// — e.g. one cold shard retrying through a fault plan while the rest are
+/// cache hits. A panicking task propagates to the caller after every
+/// in-flight slot has drained.
 pub fn run<T, S, F>(threads: usize, n: usize, f: F) -> Vec<T>
 where
     T: Send,
-    S: Default + Send,
+    S: Default + Send + 'static,
     F: Fn(&mut S, usize) -> T + Sync,
 {
     run_labeled("pool.run", threads, n, f)
 }
 
-/// [`run`] with a static call-site label for wall-clock attribution (see
-/// [`profile`]). With no profiler installed the label costs one
-/// thread-local read.
+/// [`run`] with a static call-site label for wall-clock attribution and
+/// the adaptive sequential-fallback estimate (see [`profile`] and
+/// [`pool::DispatchPolicy`]). With no profiler installed the label costs
+/// one thread-local read.
 pub fn run_labeled<T, S, F>(site: &'static str, threads: usize, n: usize, f: F) -> Vec<T>
 where
     T: Send,
-    S: Default + Send,
+    S: Default + Send + 'static,
     F: Fn(&mut S, usize) -> T + Sync,
 {
-    if threads <= 1 || n <= 1 {
+    let width = pool::parallel_width(site, threads, n);
+    if width <= 1 {
         let meter = CallMeter::begin(site);
-        let mut scratch = S::default();
-        let out: Vec<T> = (0..n).map(|i| f(&mut scratch, i)).collect();
+        let t0 = Instant::now();
+        let out: Vec<T> =
+            pool::with_scratch(|scratch: &mut S| (0..n).map(|i| f(scratch, i)).collect());
+        if n > 0 {
+            pool::update_task_estimate(site, t0.elapsed().as_nanos() as u64 / n as u64);
+        }
         if let Some(meter) = meter {
             meter.finish_seq(n as u64);
         }
         return out;
     }
-    let workers = threads.min(n);
-    let next = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
-    match CallMeter::begin(site) {
-        None => {
-            std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| {
-                        let mut scratch = S::default();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= n {
-                                break;
-                            }
-                            let out = f(&mut scratch, i);
-                            slots.lock().unwrap()[i] = Some(out);
-                        }
-                    });
-                }
-            });
-        }
-        Some(meter) => {
-            let epoch = meter.epoch();
-            let timelines: Mutex<Vec<Option<WorkerTimeline>>> =
-                Mutex::new((0..workers).map(|_| None).collect());
-            std::thread::scope(|scope| {
-                for w in 0..workers {
-                    let (next, slots, f, timelines) = (&next, &slots, &f, &timelines);
-                    scope.spawn(move || {
-                        let mut wm = WorkerMeter::start(epoch);
-                        let mut scratch = S::default();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= n {
-                                break;
-                            }
-                            wm.task(|| {
-                                let out = f(&mut scratch, i);
-                                slots.lock().unwrap()[i] = Some(out);
-                            });
-                        }
-                        timelines.lock().unwrap()[w] = Some(wm.finish());
-                    });
-                }
-            });
-            let timelines: Vec<WorkerTimeline> = timelines
-                .into_inner()
-                .unwrap()
-                .into_iter()
-                .flatten()
-                .collect();
-            meter.finish(n as u64, timelines);
-        }
+    let meter = CallMeter::begin(site);
+    let epoch = meter.as_ref().map(|m| m.epoch());
+    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let slots = ResultSlots {
+        ptr: results.as_mut_ptr(),
+    };
+    let report = pool::dispatch(width, n, epoch, &|_slot, claimer, sm| {
+        pool::with_scratch(|scratch: &mut S| {
+            while let Some(i) = claimer.next() {
+                sm.task(|| {
+                    let out = f(scratch, i);
+                    // SAFETY: `i` came from the deques (in bounds, claimed
+                    // once); `results` outlives the dispatch.
+                    unsafe { slots.store(i, out) };
+                });
+            }
+        });
+    });
+    pool::update_task_estimate(site, report.work_ns / n as u64);
+    if let Some(meter) = meter {
+        meter.finish(n as u64, report.timelines);
     }
-    slots
-        .into_inner()
-        .unwrap()
+    results
         .into_iter()
         .enumerate()
         .map(|(i, slot)| slot.unwrap_or_else(|| panic!("task {i} produced no result")))
         .collect()
 }
+
+/// Raw view of one pre-partitioned chunk, reconstructed by whichever slot
+/// claims its index.
+struct ChunkPart<T> {
+    ptr: *mut T,
+    len: usize,
+}
+
+unsafe impl<T: Send> Send for ChunkPart<T> {}
+unsafe impl<T: Send> Sync for ChunkPart<T> {}
 
 /// Apply `f(chunk_index, chunk)` to every chunk of a pre-partitioned
 /// mutable buffer on up to `threads` workers.
@@ -155,9 +180,8 @@ where
 /// boundaries must be chosen independently of `threads`; then each element
 /// is written by exactly one invocation of `f` operating on exactly the
 /// same data at every worker count, so the result is bit-identical to the
-/// sequential loop. Chunks are dealt to workers round-robin before
-/// spawning — element-wise kernels have uniform cost, so static assignment
-/// avoids any shared claim counter.
+/// sequential loop. Chunk indices are claimed through the same stealing
+/// deques as [`run`] tasks, so stragglers rebalance.
 pub fn for_each_chunk<T, F>(threads: usize, chunks: Vec<&mut [T]>, f: F)
 where
     T: Send,
@@ -167,64 +191,54 @@ where
 }
 
 /// [`for_each_chunk`] with a static call-site label for wall-clock
-/// attribution (see [`profile`]).
+/// attribution and the adaptive sequential-fallback estimate (see
+/// [`profile`]).
 pub fn for_each_chunk_labeled<T, F>(site: &'static str, threads: usize, chunks: Vec<&mut [T]>, f: F)
 where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
 {
     let n = chunks.len();
-    if threads <= 1 || n <= 1 {
+    let width = pool::parallel_width(site, threads, n);
+    if width <= 1 {
         let meter = CallMeter::begin(site);
+        let t0 = Instant::now();
         for (i, chunk) in chunks.into_iter().enumerate() {
             f(i, chunk);
+        }
+        if n > 0 {
+            pool::update_task_estimate(site, t0.elapsed().as_nanos() as u64 / n as u64);
         }
         if let Some(meter) = meter {
             meter.finish_seq(n as u64);
         }
         return;
     }
-    let workers = threads.min(n);
-    let mut per_worker: Vec<Vec<(usize, &mut [T])>> = (0..workers).map(|_| Vec::new()).collect();
-    for (i, chunk) in chunks.into_iter().enumerate() {
-        per_worker[i % workers].push((i, chunk));
-    }
-    match CallMeter::begin(site) {
-        None => {
-            std::thread::scope(|scope| {
-                for mine in per_worker {
-                    scope.spawn(|| {
-                        for (i, chunk) in mine {
-                            f(i, chunk);
-                        }
-                    });
-                }
+    let meter = CallMeter::begin(site);
+    let epoch = meter.as_ref().map(|m| m.epoch());
+    let parts: Vec<ChunkPart<T>> = chunks
+        .into_iter()
+        .map(|c| ChunkPart {
+            ptr: c.as_mut_ptr(),
+            len: c.len(),
+        })
+        .collect();
+    let report = pool::dispatch(width, n, epoch, &|_slot, claimer, sm| {
+        while let Some(i) = claimer.next() {
+            sm.task(|| {
+                let part = &parts[i];
+                // SAFETY: chunks are caller-guaranteed disjoint and index
+                // `i` is claimed by exactly one task, so this is the only
+                // live `&mut` over the chunk; the borrow ends before the
+                // dispatch latch releases the caller.
+                let chunk = unsafe { std::slice::from_raw_parts_mut(part.ptr, part.len) };
+                f(i, chunk);
             });
         }
-        Some(meter) => {
-            let epoch = meter.epoch();
-            let timelines: Mutex<Vec<Option<WorkerTimeline>>> =
-                Mutex::new((0..workers).map(|_| None).collect());
-            std::thread::scope(|scope| {
-                for (w, mine) in per_worker.into_iter().enumerate() {
-                    let (f, timelines) = (&f, &timelines);
-                    scope.spawn(move || {
-                        let mut wm = WorkerMeter::start(epoch);
-                        for (i, chunk) in mine {
-                            wm.task(|| f(i, chunk));
-                        }
-                        timelines.lock().unwrap()[w] = Some(wm.finish());
-                    });
-                }
-            });
-            let timelines: Vec<WorkerTimeline> = timelines
-                .into_inner()
-                .unwrap()
-                .into_iter()
-                .flatten()
-                .collect();
-            meter.finish(n as u64, timelines);
-        }
+    });
+    pool::update_task_estimate(site, report.work_ns / n as u64);
+    if let Some(meter) = meter {
+        meter.finish(n as u64, report.timelines);
     }
 }
 
@@ -232,129 +246,195 @@ where
 mod tests {
     use super::*;
 
-    #[test]
-    fn results_are_index_ordered_at_every_thread_count() {
-        for threads in [0, 1, 2, 4, 8] {
-            let out: Vec<usize> = run(threads, 37, |_: &mut (), i| i * i);
-            assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>());
-        }
+    /// Force the pool on regardless of host cores, so these tests
+    /// exercise the dispatch machinery even on a single-core runner.
+    fn forced<R>(f: impl FnOnce() -> R) -> R {
+        with_dispatch_policy(DispatchPolicy::always_parallel(), f)
     }
 
     #[test]
-    fn scratch_is_worker_local_and_reused() {
-        // Sequential path: one scratch serves all tasks in order.
-        let out: Vec<usize> = run(1, 5, |seen: &mut Vec<usize>, i| {
-            seen.push(i);
-            seen.len()
+    fn results_are_index_ordered_at_every_thread_count() {
+        forced(|| {
+            for threads in [0, 1, 2, 4, 8] {
+                let out: Vec<usize> = run(threads, 37, |_: &mut (), i| i * i);
+                assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>());
+            }
         });
-        assert_eq!(out, vec![1, 2, 3, 4, 5]);
-        // Parallel path: each worker's scratch only grows with its own
-        // tasks, so no task can observe more history than its position.
-        let out: Vec<usize> = run(4, 64, |seen: &mut Vec<usize>, i| {
-            seen.push(i);
-            seen.len()
+    }
+
+    #[test]
+    fn scratch_arena_persists_across_calls() {
+        // The persistent-pool contract: scratch is per-thread, dirty, and
+        // survives across pool calls. On the sequential path the caller's
+        // own arena serves every task, so history accumulates across two
+        // separate calls.
+        #[derive(Default)]
+        struct Seen(Vec<usize>);
+        let a: Vec<usize> = run(1, 3, |s: &mut Seen, i| {
+            s.0.push(i);
+            s.0.len()
         });
-        for (i, &len) in out.iter().enumerate() {
-            assert!(len >= 1 && len <= i + 1);
-        }
+        let b: Vec<usize> = run(1, 2, |s: &mut Seen, i| {
+            s.0.push(i);
+            s.0.len()
+        });
+        assert_eq!(a, vec![1, 2, 3]);
+        assert_eq!(b, vec![4, 5], "arena must survive across calls");
+        // Parallel path: every task sees *some* thread's accumulated
+        // history — at least its own call-local position, and no task
+        // observes a scratch that lost entries mid-call.
+        forced(|| {
+            let out: Vec<usize> = run(4, 64, |s: &mut Seen, i| {
+                s.0.push(i);
+                s.0.len()
+            });
+            assert_eq!(out.len(), 64);
+            assert!(out.iter().all(|&len| len >= 1));
+        });
     }
 
     #[test]
     fn empty_and_singleton_inputs() {
-        let none: Vec<u32> = run(8, 0, |_: &mut (), _| unreachable!());
-        assert!(none.is_empty());
-        let one: Vec<u32> = run(8, 1, |_: &mut (), i| i as u32 + 41);
-        assert_eq!(one, vec![41]);
+        forced(|| {
+            let none: Vec<u32> = run(8, 0, |_: &mut (), _| unreachable!());
+            assert!(none.is_empty());
+            let one: Vec<u32> = run(8, 1, |_: &mut (), i| i as u32 + 41);
+            assert_eq!(one, vec![41]);
+        });
     }
 
     #[test]
     fn skewed_task_costs_still_fill_every_slot() {
-        let out: Vec<u64> = run(3, 24, |_: &mut (), i| {
-            if i % 7 == 0 {
-                std::thread::sleep(std::time::Duration::from_millis(2));
-            }
-            i as u64
+        forced(|| {
+            let out: Vec<u64> = run(3, 24, |_: &mut (), i| {
+                if i % 7 == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                i as u64
+            });
+            assert_eq!(out, (0..24).collect::<Vec<_>>());
         });
-        assert_eq!(out, (0..24).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panicking_task_propagates_and_pool_survives() {
+        forced(|| {
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _: Vec<u64> = run(4, 16, |_: &mut (), i| {
+                    if i == 11 {
+                        panic!("task 11 exploded");
+                    }
+                    i as u64
+                });
+            }));
+            assert!(caught.is_err(), "task panic must reach the caller");
+            // The pool must stay usable after a panicking call.
+            let out: Vec<u64> = run(4, 16, |_: &mut (), i| i as u64);
+            assert_eq!(out, (0..16).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn nested_pool_calls_run_inline_without_deadlock() {
+        forced(|| {
+            let out: Vec<u64> = run(4, 8, |_: &mut (), i| {
+                // A nested call from inside a pool task must not re-enter
+                // the (single-job) pool.
+                let inner: Vec<u64> = run(4, 4, |_: &mut (), j| (i * 10 + j) as u64);
+                inner.iter().sum()
+            });
+            let expect: Vec<u64> = (0..8u64).map(|i| 4 * 10 * i + 6).collect();
+            assert_eq!(out, expect);
+        });
     }
 
     #[test]
     fn chunks_are_written_once_each_at_every_thread_count() {
-        for threads in [0, 1, 2, 4, 8] {
-            let mut data: Vec<u64> = (0..1000).collect();
-            let chunks: Vec<&mut [u64]> = data.chunks_mut(64).collect();
-            for_each_chunk(threads, chunks, |i, chunk| {
-                for v in chunk.iter_mut() {
-                    *v = v.wrapping_mul(3).wrapping_add(i as u64);
-                }
-            });
-            let expect: Vec<u64> = (0..1000u64)
-                .map(|v| v.wrapping_mul(3).wrapping_add(v / 64))
-                .collect();
-            assert_eq!(data, expect, "threads={threads}");
-        }
+        forced(|| {
+            for threads in [0, 1, 2, 4, 8] {
+                let mut data: Vec<u64> = (0..1000).collect();
+                let chunks: Vec<&mut [u64]> = data.chunks_mut(64).collect();
+                for_each_chunk(threads, chunks, |i, chunk| {
+                    for v in chunk.iter_mut() {
+                        *v = v.wrapping_mul(3).wrapping_add(i as u64);
+                    }
+                });
+                let expect: Vec<u64> = (0..1000u64)
+                    .map(|v| v.wrapping_mul(3).wrapping_add(v / 64))
+                    .collect();
+                assert_eq!(data, expect, "threads={threads}");
+            }
+        });
     }
 
     #[test]
     fn profiled_run_accounts_every_worker_nanosecond() {
-        let prof = PoolProfiler::enabled();
-        let _guard = install(&prof);
-        let out: Vec<u64> = run_labeled("test.site", 4, 32, |_: &mut (), i| {
-            if i % 5 == 0 {
-                std::thread::sleep(std::time::Duration::from_micros(200));
-            }
-            i as u64
+        forced(|| {
+            let prof = PoolProfiler::enabled();
+            let _guard = install(&prof);
+            let out: Vec<u64> = run_labeled("test.site", 4, 32, |_: &mut (), i| {
+                if i % 5 == 0 {
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+                i as u64
+            });
+            assert_eq!(out, (0..32).collect::<Vec<_>>());
+            let profiles = prof.profiles();
+            assert_eq!(profiles.len(), 1);
+            let (label, p) = &profiles[0];
+            assert_eq!(label, "test.site");
+            assert_eq!(p.calls, 1);
+            assert_eq!(p.tasks, 32);
+            assert_eq!(p.workers, 4);
+            assert_eq!(
+                p.exec_ns + p.idle_ns + p.barrier_ns + p.park_ns,
+                p.worker_wall_ns
+            );
+            assert_eq!(
+                p.exec_wall_ns + p.idle_wall_ns + p.park_wall_ns + p.barrier_wall_ns,
+                p.wall_ns
+            );
+            assert!(p.utilization() > 0.0 && p.utilization() <= 1.0);
+            assert!(p.imbalance() >= 1.0);
+            let records = prof.call_records();
+            assert_eq!(records.len(), 1);
+            assert_eq!(records[0].site, "test.site");
+            assert_eq!(records[0].workers.len(), 4);
+            let counted: u64 = records[0].workers.iter().map(|w| w.task_count).sum();
+            assert_eq!(counted, 32);
         });
-        assert_eq!(out, (0..32).collect::<Vec<_>>());
-        let profiles = prof.profiles();
-        assert_eq!(profiles.len(), 1);
-        let (label, p) = &profiles[0];
-        assert_eq!(label, "test.site");
-        assert_eq!(p.calls, 1);
-        assert_eq!(p.tasks, 32);
-        assert_eq!(p.workers, 4);
-        assert_eq!(p.exec_ns + p.idle_ns + p.barrier_ns, p.worker_wall_ns);
-        assert_eq!(
-            p.exec_wall_ns + p.idle_wall_ns + p.barrier_wall_ns,
-            p.wall_ns
-        );
-        assert!(p.utilization() > 0.0 && p.utilization() <= 1.0);
-        assert!(p.imbalance() >= 1.0);
-        let records = prof.call_records();
-        assert_eq!(records.len(), 1);
-        assert_eq!(records[0].site, "test.site");
-        let counted: u64 = records[0].workers.iter().map(|w| w.task_count).sum();
-        assert_eq!(counted, 32);
     }
 
     #[test]
     fn phase_scope_overrides_site_label_and_nests() {
-        let prof = PoolProfiler::enabled();
-        let _guard = install(&prof);
-        phase_scope("outer", || {
-            let _: Vec<usize> = run_labeled("site.a", 2, 8, |_: &mut (), i| i);
-            phase_scope("inner", || {
-                record_seq("site.b", || {
-                    std::thread::sleep(std::time::Duration::from_micros(100))
+        forced(|| {
+            let prof = PoolProfiler::enabled();
+            let _guard = install(&prof);
+            phase_scope("outer", || {
+                let _: Vec<usize> = run_labeled("site.a", 2, 8, |_: &mut (), i| i);
+                phase_scope("inner", || {
+                    record_seq("site.b", || {
+                        std::thread::sleep(std::time::Duration::from_micros(100))
+                    });
                 });
             });
+            let labels: Vec<String> = prof.profiles().into_iter().map(|(l, _)| l).collect();
+            assert_eq!(labels, vec!["inner".to_string(), "outer".to_string()]);
+            let find = |name: &str| {
+                prof.profiles()
+                    .into_iter()
+                    .find(|(l, _)| l == name)
+                    .unwrap()
+                    .1
+            };
+            let outer = find("outer");
+            let inner = find("inner");
+            assert_eq!(outer.calls, 1, "pool call attributes to innermost scope");
+            assert_eq!(inner.seq_calls, 1, "record_seq attributes to its scope");
+            assert!(inner.scope_self_wall_ns > 0);
+            // Outer self time excludes the nested scope entirely.
+            assert!(outer.scope_self_wall_ns >= outer.wall_ns);
         });
-        let labels: Vec<String> = prof.profiles().into_iter().map(|(l, _)| l).collect();
-        assert_eq!(labels, vec!["inner".to_string(), "outer".to_string()]);
-        let find = |name: &str| {
-            prof.profiles()
-                .into_iter()
-                .find(|(l, _)| l == name)
-                .unwrap()
-                .1
-        };
-        let outer = find("outer");
-        let inner = find("inner");
-        assert_eq!(outer.calls, 1, "pool call attributes to innermost scope");
-        assert_eq!(inner.seq_calls, 1, "record_seq attributes to its scope");
-        assert!(inner.scope_self_wall_ns > 0);
-        // Outer self time excludes the nested scope entirely.
-        assert!(outer.scope_self_wall_ns >= outer.wall_ns);
     }
 
     #[test]
@@ -372,33 +452,69 @@ mod tests {
     }
 
     #[test]
+    fn nested_install_is_a_documented_noop() {
+        let outer = PoolProfiler::enabled();
+        let guard_outer = install(&outer);
+        assert!(guard_outer.installed());
+        let inner = PoolProfiler::enabled();
+        {
+            let guard_inner = install(&inner);
+            assert!(
+                !guard_inner.installed(),
+                "nested install must be a no-op while an enabled profiler is ambient"
+            );
+            let _: Vec<usize> = run_labeled("nested.site", 1, 4, |_: &mut (), i| i);
+        }
+        // Dropping the inner guard must not uninstall the outer profiler.
+        let _: Vec<usize> = run_labeled("nested.site", 1, 4, |_: &mut (), i| i);
+        assert!(
+            inner.profiles().is_empty(),
+            "inner profiler must record nothing"
+        );
+        let p = &outer.profiles()[0].1;
+        assert_eq!(p.seq_calls, 2, "outer profiler keeps recording throughout");
+        drop(guard_outer);
+        // A disabled ambient profiler does not block a fresh install.
+        let fresh = PoolProfiler::enabled();
+        let guard = install(&fresh);
+        assert!(guard.installed());
+    }
+
+    #[test]
     fn uninstalled_profiler_records_nothing() {
-        let prof = PoolProfiler::enabled();
-        // Not installed: pool runs and scopes must not report into it.
-        let _: Vec<usize> = phase_scope("ghost", || run(4, 8, |_: &mut (), i| i));
-        assert!(prof.profiles().is_empty());
-        assert_eq!(prof.total(), PoolProfile::default());
-        assert!(!PoolProfiler::disabled().is_enabled());
+        forced(|| {
+            let prof = PoolProfiler::enabled();
+            // Not installed: pool runs and scopes must not report into it.
+            let _: Vec<usize> = phase_scope("ghost", || run(4, 8, |_: &mut (), i| i));
+            assert!(prof.profiles().is_empty());
+            assert_eq!(prof.total(), PoolProfile::default());
+            assert!(!PoolProfiler::disabled().is_enabled());
+        });
     }
 
     #[test]
     fn for_each_chunk_profiled_keeps_results_and_invariant() {
-        let prof = PoolProfiler::enabled();
-        let _guard = install(&prof);
-        let mut data: Vec<u64> = (0..1000).collect();
-        let chunks: Vec<&mut [u64]> = data.chunks_mut(64).collect();
-        for_each_chunk_labeled("chunk.site", 4, chunks, |i, chunk| {
-            for v in chunk.iter_mut() {
-                *v = v.wrapping_mul(3).wrapping_add(i as u64);
-            }
+        forced(|| {
+            let prof = PoolProfiler::enabled();
+            let _guard = install(&prof);
+            let mut data: Vec<u64> = (0..1000).collect();
+            let chunks: Vec<&mut [u64]> = data.chunks_mut(64).collect();
+            for_each_chunk_labeled("chunk.site", 4, chunks, |i, chunk| {
+                for v in chunk.iter_mut() {
+                    *v = v.wrapping_mul(3).wrapping_add(i as u64);
+                }
+            });
+            let expect: Vec<u64> = (0..1000u64)
+                .map(|v| v.wrapping_mul(3).wrapping_add(v / 64))
+                .collect();
+            assert_eq!(data, expect);
+            let p = prof.total();
+            assert_eq!(p.tasks, 16);
+            assert_eq!(
+                p.exec_ns + p.idle_ns + p.barrier_ns + p.park_ns,
+                p.worker_wall_ns
+            );
         });
-        let expect: Vec<u64> = (0..1000u64)
-            .map(|v| v.wrapping_mul(3).wrapping_add(v / 64))
-            .collect();
-        assert_eq!(data, expect);
-        let p = prof.total();
-        assert_eq!(p.tasks, 16);
-        assert_eq!(p.exec_ns + p.idle_ns + p.barrier_ns, p.worker_wall_ns);
     }
 
     #[test]

@@ -17,19 +17,25 @@
 //! nested pool call from a worker (the pool never does this today) would
 //! simply go unprofiled rather than double-count.
 //!
-//! Every parallel pool call is decomposed per worker into three exhaustive,
-//! disjoint interval classes measured on the monotonic clock:
+//! Every parallel pool call is decomposed per worker slot into four
+//! exhaustive, disjoint interval classes measured on the monotonic clock:
 //!
 //! * **execute** — time inside the user closure (plus the result-slot
 //!   store),
-//! * **idle** — time inside the worker loop but outside any task (claim
-//!   contention, lock waits, tail starvation),
-//! * **barrier** — spawn delay before the worker loop starts plus join
-//!   tail after it ends, i.e. the cost of `thread::scope` itself.
+//! * **idle** — time inside the slot loop but outside any task (claim
+//!   contention, steal scans, tail starvation),
+//! * **park** — wake latency: the span from job post to the moment a
+//!   parked pool worker claimed its slot (zero for the caller's slot,
+//!   which starts immediately; the whole call span for slots revoked
+//!   before any worker woke),
+//! * **barrier** — completion-latch tail and dispatch bookkeeping outside
+//!   the slot loop.
 //!
-//! By construction `execute + idle + barrier == worker wall span` exactly
-//! (the span being the caller-observed call interval) — the invariant the
-//! property tests pin.
+//! By construction `execute + idle + park + barrier == worker wall span`
+//! exactly (the span being the caller-observed call interval) — the
+//! invariant the property tests pin. Successful steals are counted per
+//! slot alongside, so imbalance diagnoses show whether the deques
+//! rebalanced skewed work.
 //!
 //! Attribution is by **label**: the innermost [`phase_scope`] on the
 //! calling thread if one is active (e.g. `"tsvd"`, `"topk"`), otherwise
@@ -63,16 +69,21 @@ pub struct PoolProfile {
     pub exec_ns: u64,
     pub idle_ns: u64,
     pub barrier_ns: u64,
+    /// Wake latency sum: job post → slot claim, per pool-worker slot.
+    pub park_ns: u64,
+    /// Successful steals (tasks claimed from another slot's range).
+    pub steals: u64,
     /// Σ over workers of their call-wall span; equals
-    /// `exec_ns + idle_ns + barrier_ns` exactly.
+    /// `exec_ns + idle_ns + barrier_ns + park_ns` exactly.
     pub worker_wall_ns: u64,
     /// Caller-observed wall time of parallel calls.
     pub wall_ns: u64,
-    /// `wall_ns` attributed to the three classes by dividing the CPU sums
-    /// over the worker count; `exec_wall_ns + idle_wall_ns +
-    /// barrier_wall_ns == wall_ns` exactly (barrier takes the residue).
+    /// `wall_ns` attributed to the four classes by dividing the CPU sums
+    /// over the worker count; `exec_wall_ns + idle_wall_ns + park_wall_ns
+    /// + barrier_wall_ns == wall_ns` exactly (barrier takes the residue).
     pub exec_wall_ns: u64,
     pub idle_wall_ns: u64,
+    pub park_wall_ns: u64,
     pub barrier_wall_ns: u64,
     /// Wall time of sequential executions attributed to this label.
     pub seq_wall_ns: u64,
@@ -115,6 +126,7 @@ impl PoolProfile {
         if self.scope_calls > 0 {
             self.scope_self_wall_ns
                 .saturating_sub(self.idle_wall_ns)
+                .saturating_sub(self.park_wall_ns)
                 .saturating_sub(self.barrier_wall_ns)
         } else {
             self.exec_wall_ns + self.seq_wall_ns
@@ -122,9 +134,9 @@ impl PoolProfile {
     }
 
     /// Total wall nanoseconds this label accounts for
-    /// (`task + idle + barrier`).
+    /// (`task + idle + park + barrier`).
     pub fn attributed_wall_ns(&self) -> u64 {
-        self.task_wall_ns() + self.idle_wall_ns + self.barrier_wall_ns
+        self.task_wall_ns() + self.idle_wall_ns + self.park_wall_ns + self.barrier_wall_ns
     }
 
     /// Fold another profile into this one (used for whole-run totals).
@@ -136,10 +148,13 @@ impl PoolProfile {
         self.exec_ns += other.exec_ns;
         self.idle_ns += other.idle_ns;
         self.barrier_ns += other.barrier_ns;
+        self.park_ns += other.park_ns;
+        self.steals += other.steals;
         self.worker_wall_ns += other.worker_wall_ns;
         self.wall_ns += other.wall_ns;
         self.exec_wall_ns += other.exec_wall_ns;
         self.idle_wall_ns += other.idle_wall_ns;
+        self.park_wall_ns += other.park_wall_ns;
         self.barrier_wall_ns += other.barrier_wall_ns;
         self.seq_wall_ns += other.seq_wall_ns;
         self.scope_self_wall_ns += other.scope_self_wall_ns;
@@ -149,9 +164,9 @@ impl PoolProfile {
     }
 }
 
-/// One worker's timeline within one pool call. Times are microseconds
-/// since the profiler's epoch (coarse, for timeline export); the exact
-/// nanosecond sums live in the aggregates.
+/// One worker slot's timeline within one pool call. Times are
+/// microseconds since the profiler's epoch (coarse, for timeline export);
+/// the exact nanosecond sums live in the aggregates.
 #[derive(Debug, Clone)]
 pub struct WorkerTimeline {
     pub loop_start_us: u64,
@@ -161,6 +176,11 @@ pub struct WorkerTimeline {
     pub task_count: u64,
     pub exec_ns: u64,
     pub idle_ns: u64,
+    /// Wake latency before this slot's loop (0 for the caller's slot 0;
+    /// the full call span for a slot revoked before any worker woke).
+    pub park_ns: u64,
+    /// Tasks this slot claimed from another slot's range.
+    pub steals: u64,
 }
 
 /// One parallel pool call, kept (capped) for timeline export.
@@ -298,19 +318,27 @@ impl PoolProfiler {
         let nworkers = workers.len() as u64;
         let mut exec_total = 0u64;
         let mut idle_total = 0u64;
+        let mut park_total = 0u64;
         let mut barrier_total = 0u64;
+        let mut steal_total = 0u64;
         let mut max_exec = 0u64;
-        // Re-derive idle/barrier so the per-worker identity
-        // exec + idle + barrier == call span holds exactly even under
-        // timer coarseness.
+        // Re-derive idle/park/barrier so the per-slot identity
+        // exec + idle + park + barrier == call span holds exactly even
+        // under timer coarseness.
         let workers: Vec<WorkerTimeline> = workers
             .into_iter()
             .map(|mut w| {
-                let loop_ns = (w.exec_ns + w.idle_ns).min(call_ns).max(w.exec_ns);
+                w.park_ns = w.park_ns.min(call_ns);
+                w.exec_ns = w.exec_ns.min(call_ns - w.park_ns);
+                let loop_ns = (w.exec_ns + w.idle_ns)
+                    .min(call_ns - w.park_ns)
+                    .max(w.exec_ns);
                 w.idle_ns = loop_ns - w.exec_ns;
                 exec_total += w.exec_ns;
                 idle_total += w.idle_ns;
-                barrier_total += call_ns - loop_ns;
+                park_total += w.park_ns;
+                barrier_total += call_ns - w.park_ns - loop_ns;
+                steal_total += w.steals;
                 max_exec = max_exec.max(w.exec_ns);
                 w
             })
@@ -323,13 +351,17 @@ impl PoolProfiler {
         p.exec_ns += exec_total;
         p.idle_ns += idle_total;
         p.barrier_ns += barrier_total;
+        p.park_ns += park_total;
+        p.steals += steal_total;
         p.worker_wall_ns += nworkers * call_ns;
         p.wall_ns += call_ns;
         let exec_wall = exec_total.checked_div(nworkers).unwrap_or(0);
         let idle_wall = idle_total.checked_div(nworkers).unwrap_or(0);
+        let park_wall = park_total.checked_div(nworkers).unwrap_or(0);
         p.exec_wall_ns += exec_wall;
         p.idle_wall_ns += idle_wall;
-        p.barrier_wall_ns += call_ns - exec_wall - idle_wall;
+        p.park_wall_ns += park_wall;
+        p.barrier_wall_ns += call_ns - exec_wall - idle_wall - park_wall;
         p.sum_max_exec_ns += max_exec;
         p.sum_mean_exec_ns += exec_wall;
         if st.calls.len() < MAX_CALL_RECORDS {
@@ -368,22 +400,45 @@ thread_local! {
 /// Restores the previously installed profiler when dropped.
 #[must_use = "dropping the guard immediately uninstalls the profiler"]
 pub struct ProfilerGuard {
-    prev: PoolProfiler,
+    /// `None` when the install was a nested no-op (an enabled profiler
+    /// was already ambient) — dropping restores nothing.
+    prev: Option<PoolProfiler>,
+}
+
+impl ProfilerGuard {
+    /// Whether this guard actually installed its profiler. `false` means
+    /// the install was a no-op because an enabled profiler was already
+    /// ambient on this thread (the outer install wins).
+    pub fn installed(&self) -> bool {
+        self.prev.is_some()
+    }
 }
 
 /// Install `profiler` as the calling thread's ambient profiler for the
 /// lifetime of the returned guard. Pool entry points and [`phase_scope`] /
 /// [`record_seq`] invoked from this thread report into it; worker threads
 /// spawned by the pool do not inherit it.
+///
+/// Nested installs are a **documented no-op**: if an enabled profiler is
+/// already ambient on this thread (e.g. the plane engine installs while
+/// serve scopes are live), the outer profiler keeps recording, the
+/// returned guard reports [`ProfilerGuard::installed`]` == false`, and
+/// dropping it restores nothing — so an inner layer can never silently
+/// steal or truncate an outer layer's attribution window.
 pub fn install(profiler: &PoolProfiler) -> ProfilerGuard {
+    let already = AMBIENT.with(|a| a.borrow().profiler.is_enabled());
+    if already {
+        return ProfilerGuard { prev: None };
+    }
     let prev = AMBIENT.with(|a| std::mem::replace(&mut a.borrow_mut().profiler, profiler.clone()));
-    ProfilerGuard { prev }
+    ProfilerGuard { prev: Some(prev) }
 }
 
 impl Drop for ProfilerGuard {
     fn drop(&mut self) {
-        let prev = std::mem::take(&mut self.prev);
-        AMBIENT.with(|a| a.borrow_mut().profiler = prev);
+        if let Some(prev) = self.prev.take() {
+            AMBIENT.with(|a| a.borrow_mut().profiler = prev);
+        }
     }
 }
 
@@ -467,23 +522,25 @@ pub fn record_seq<R>(label: &'static str, f: impl FnOnce() -> R) -> R {
 
 // ---- hooks used by the pool entry points ----------------------------------
 
-/// Per-worker measurement state threaded through a profiled pool call.
+/// Per-slot measurement state threaded through a profiled pool call.
 pub(crate) struct WorkerMeter {
     epoch: Instant,
     loop_start: Instant,
     loop_start_us: u64,
+    park_ns: u64,
     exec_ns: u64,
     task_count: u64,
     tasks: Vec<(u64, u64)>,
 }
 
 impl WorkerMeter {
-    pub(crate) fn start(epoch: Instant) -> WorkerMeter {
+    pub(crate) fn start(epoch: Instant, park_ns: u64) -> WorkerMeter {
         let now = Instant::now();
         WorkerMeter {
             epoch,
             loop_start: now,
             loop_start_us: now.duration_since(epoch).as_micros() as u64,
+            park_ns,
             exec_ns: 0,
             task_count: 0,
             tasks: Vec::new(),
@@ -505,7 +562,7 @@ impl WorkerMeter {
         out
     }
 
-    pub(crate) fn finish(self) -> WorkerTimeline {
+    pub(crate) fn finish(self, steals: u64) -> WorkerTimeline {
         let loop_ns = self.loop_start.elapsed().as_nanos() as u64;
         let loop_end_us = self.loop_start_us + loop_ns / 1_000;
         WorkerTimeline {
@@ -515,6 +572,25 @@ impl WorkerMeter {
             task_count: self.task_count,
             exec_ns: self.exec_ns,
             idle_ns: loop_ns.saturating_sub(self.exec_ns),
+            park_ns: self.park_ns,
+            steals,
+        }
+    }
+}
+
+/// A slot's meter inside a dispatch: measuring when the call is profiled,
+/// free when it is not.
+pub(crate) enum SlotMeter {
+    Off,
+    On(WorkerMeter),
+}
+
+impl SlotMeter {
+    /// Time one task (no-op wrapper when unprofiled).
+    pub(crate) fn task<R>(&mut self, f: impl FnOnce() -> R) -> R {
+        match self {
+            SlotMeter::Off => f(),
+            SlotMeter::On(m) => m.task(f),
         }
     }
 }

@@ -1,9 +1,14 @@
 //! Property tests of the pool profiler's accounting identities across
 //! random pool shapes: for every thread count, task count, and workload
-//! skew, the three interval classes partition the measured wall time
-//! exactly — and profiling never changes what the pool computes.
+//! skew, the four interval classes (exec/idle/park/barrier) partition the
+//! measured wall time exactly — and profiling never changes what the pool
+//! computes.
+//!
+//! Every case pins the dispatch policy to "always parallel" so the pool
+//! machinery is exercised deterministically even on single-core runners,
+//! where the default policy would (correctly) run everything inline.
 
-use omega_par::{install, phase_scope, record_seq, PoolProfiler};
+use omega_par::{install, phase_scope, record_seq, DispatchPolicy, PoolProfiler};
 use proptest::prelude::*;
 
 /// Deterministic busy work whose duration scales with `spin`.
@@ -18,10 +23,10 @@ fn busy(spin: u64) -> u64 {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// `exec + idle + barrier == worker wall` (CPU sums) and
-    /// `exec_wall + idle_wall + barrier_wall == wall` (call attribution)
-    /// hold exactly for every pool shape, skew, and label mix; results are
-    /// identical to the unprofiled run.
+    /// `exec + idle + park + barrier == worker wall` (CPU sums) and
+    /// `exec_wall + idle_wall + park_wall + barrier_wall == wall` (call
+    /// attribution) hold exactly for every pool shape, skew, and label
+    /// mix; results are identical to the unprofiled run.
     #[test]
     fn pool_accounting_partitions_wall(
         threads in 1usize..9,
@@ -38,7 +43,7 @@ proptest! {
         let expect: Vec<u64> = (0..n).map(work).collect();
 
         let prof = PoolProfiler::enabled();
-        let got = {
+        let got = omega_par::with_dispatch_policy(DispatchPolicy::always_parallel(), || {
             let _guard = install(&prof);
             let body = || omega_par::run(threads, n, |_: &mut (), i| work(i));
             if scoped {
@@ -46,17 +51,18 @@ proptest! {
             } else {
                 body()
             }
-        };
+        });
         prop_assert_eq!(got, expect, "profiling changed the pool's output");
 
         let total = prof.total();
         prop_assert_eq!(
-            total.exec_ns + total.idle_ns + total.barrier_ns,
+            total.exec_ns + total.idle_ns + total.barrier_ns + total.park_ns,
             total.worker_wall_ns,
             "interval classes must partition the worker wall spans"
         );
         prop_assert_eq!(
-            total.exec_wall_ns + total.idle_wall_ns + total.barrier_wall_ns,
+            total.exec_wall_ns + total.idle_wall_ns + total.park_wall_ns
+                + total.barrier_wall_ns,
             total.wall_ns,
             "wall attribution must partition the call wall"
         );
@@ -90,13 +96,13 @@ proptest! {
         spin in 0u64..40,
     ) {
         let prof = PoolProfiler::enabled();
-        {
+        omega_par::with_dispatch_policy(DispatchPolicy::always_parallel(), || {
             let _guard = install(&prof);
             phase_scope("outer", || {
                 let _ = omega_par::run(threads, n, |_: &mut (), i| busy(spin) ^ i as u64);
                 record_seq("fallback.site", || busy(spin));
             });
-        }
+        });
         let records = prof.call_records();
         prop_assert_eq!(records.len(), 1);
         let rec = &records[0];
@@ -106,10 +112,16 @@ proptest! {
         prop_assert_eq!(rec.workers.len(), threads.min(n));
         let tasks: u64 = rec.workers.iter().map(|w| w.task_count).sum();
         prop_assert_eq!(tasks, n as u64);
-        for w in &rec.workers {
+        for (slot, w) in rec.workers.iter().enumerate() {
             prop_assert!(w.loop_end_us >= w.loop_start_us);
             prop_assert!(w.tasks.len() as u64 <= w.task_count);
+            prop_assert!(w.steals <= w.task_count, "steals are a subset of tasks");
+            if slot == 0 {
+                prop_assert_eq!(w.park_ns, 0, "the caller's slot never parks");
+            }
         }
+        let steals: u64 = rec.workers.iter().map(|w| w.steals).sum();
+        prop_assert!(steals <= n as u64);
         // Both the pool call and the sequential fallback attribute to the
         // scope label, so the profile has exactly one entry.
         let profiles = prof.profiles();

@@ -38,7 +38,7 @@ use crate::router::Ring;
 use omega_embed::Embedding;
 use omega_hetmem::{MemSystem, NetModel, SimDuration};
 use omega_obs::{percentile_u64, Recorder, Track};
-use omega_serve::{EmbedServer, Request, RequestKind, ServeConfig};
+use omega_serve::{pool, EmbedServer, Request, RequestKind, ServeConfig};
 
 /// Simulated wire size of one routed request (ids, kind, deadline, tenant).
 const REQ_BYTES: u64 = 32;
@@ -487,7 +487,10 @@ impl RequestPlane {
             }
 
             let sim_before = self.servers[r].sim_now();
-            let result = self.servers[r].serve_batch(&batch);
+            // Wall-clock attribution only: the replica's own phases
+            // ("fetch"/"lookup"/"topk") override inside, so "dispatch"
+            // catches the batch's residual serve wall time.
+            let result = pool::phase_scope("dispatch", || self.servers[r].serve_batch(&batch));
             let batch_sim = self.servers[r].sim_now() - sim_before;
             ready_at[r] = t + batch_sim.as_nanos();
 

@@ -283,6 +283,18 @@ struct LookupOutcome {
     row_bytes: u64,
 }
 
+/// Per-worker scratch, held in the persistent pool's thread-local arena
+/// across calls: a recycled [`ThreadMem`] context (reset per task, so
+/// fault schedules match the old fresh-context-per-task lifecycle
+/// byte-for-byte) and the reusable score buffer for top-k scans. One
+/// scratch type for every serve task kind means a worker thread keeps a
+/// single warm context for the whole serving run.
+#[derive(Debug, Default)]
+struct TaskScratch {
+    ctx: Option<ThreadMem>,
+    scores: Vec<f32>,
+}
+
 /// Everything one shard's parallel top-k leg produced.
 #[derive(Debug)]
 struct ScanOutcome {
@@ -367,12 +379,19 @@ impl EmbedServer {
         AccessSummary::from_counters(&self.counters)
     }
 
-    /// A worker-task context: fresh [`ThreadMem`] pinned to `stream` and
-    /// `sim_now`. Streams derive from *what* the task processes (shard id,
-    /// request index), never from which worker ran it, so fault draws are
-    /// identical at every thread count.
-    fn task_ctx(&self, stream: u64, sim_now: SimDuration) -> ThreadMem {
-        let mut ctx = self.sys.thread_ctx_on(self.cfg.hot_node);
+    /// A worker-task context, recycled out of the pool worker's scratch
+    /// slot: reset [`ThreadMem`] pinned to `stream` and `sim_now`. Streams
+    /// derive from *what* the task processes (shard id, request index),
+    /// never from which worker ran it, so fault draws are identical at
+    /// every thread count — and identical whether the context is fresh or
+    /// reused, because a reset context is observationally fresh.
+    fn task_ctx_in<'s>(
+        &self,
+        slot: &'s mut Option<ThreadMem>,
+        stream: u64,
+        sim_now: SimDuration,
+    ) -> &'s mut ThreadMem {
+        let ctx = self.sys.recycle_ctx_on(slot, self.cfg.hot_node);
         ctx.set_fault_stream(stream);
         ctx.set_sim_now(sim_now);
         ctx
@@ -415,6 +434,7 @@ impl EmbedServer {
     #[allow(clippy::too_many_arguments)]
     fn replica_task(
         &self,
+        slot: &mut Option<ThreadMem>,
         sid: usize,
         stream: u64,
         sim_now: SimDuration,
@@ -422,7 +442,7 @@ impl EmbedServer {
         stats: &mut PathStats,
     ) -> (Vec<f32>, SimDuration) {
         let bytes = self.store.shard_bytes(sid);
-        let mut ctx = self.task_ctx(stream, sim_now);
+        let ctx = self.task_ctx_in(slot, stream, sim_now);
         ctx.charge_block(
             self.cfg.hot_placement(),
             AccessOp::Read,
@@ -440,7 +460,7 @@ impl EmbedServer {
         stats.dram_read_bytes += bytes;
         stats.dram_write_bytes += bytes;
         let rows = self.store.shard_raw(sid).to_vec();
-        let dur = self.task_settle(&ctx, counters);
+        let dur = self.task_settle(ctx, counters);
         (rows, dur)
     }
 
@@ -449,7 +469,12 @@ impl EmbedServer {
     /// fault plan exactly like the sequential path. Pure computation — the
     /// outcome's counters, stats, simulated time and span events are
     /// applied by [`EmbedServer::merge_fetch`] in ascending shard order.
-    fn fetch_shard_task(&self, sid: usize, batch_start: SimDuration) -> FetchOutcome {
+    fn fetch_shard_task(
+        &self,
+        slot: &mut Option<ThreadMem>,
+        sid: usize,
+        batch_start: SimDuration,
+    ) -> FetchOutcome {
         let bytes = self.store.shard_bytes(sid);
         let stream = FETCH_STREAM + sid as u64;
         let mut counters = ClassCounters::default();
@@ -458,8 +483,10 @@ impl EmbedServer {
         let mut elapsed = SimDuration::ZERO;
         let mut attempt: u32 = 0;
         let rows: Vec<f32> = loop {
-            let mut ctx = self.task_ctx(stream, batch_start + elapsed);
-            match self.store.try_read_shard(sid, &mut ctx) {
+            // Recycled per attempt: reset + re-keying restarts the fault
+            // stream exactly like the fresh-context-per-attempt original.
+            let ctx = self.task_ctx_in(slot, stream, batch_start + elapsed);
+            match self.store.try_read_shard(sid, ctx) {
                 Ok(rows) => {
                     let rows = rows.to_vec();
                     ctx.charge_block(
@@ -471,7 +498,7 @@ impl EmbedServer {
                     );
                     stats.cold_read_bytes += bytes;
                     stats.dram_write_bytes += bytes;
-                    let dur = self.task_settle(&ctx, &mut counters);
+                    let dur = self.task_settle(ctx, &mut counters);
                     events.push(("serve.fetch", (attempt > 0).then_some(attempt), dur));
                     elapsed += dur;
                     break rows;
@@ -481,13 +508,14 @@ impl EmbedServer {
                     // tier and burned its injected penalty.
                     stats.cold_read_bytes += bytes;
                     stats.faults_injected += 1;
-                    let dur = self.task_settle(&ctx, &mut counters);
+                    let dur = self.task_settle(ctx, &mut counters);
                     events.push(("serve.fetch", (attempt > 0).then_some(attempt), dur));
                     elapsed += dur;
                     if err.is_timeout() {
                         // Don't retry a stalled device: hedge to the replica.
                         stats.hedges_won += 1;
                         let (rows, dur) = self.replica_task(
+                            slot,
                             sid,
                             stream,
                             batch_start + elapsed,
@@ -509,6 +537,7 @@ impl EmbedServer {
                     // Retry budget spent: serve degraded from the replica.
                     stats.degraded += 1;
                     let (rows, dur) = self.replica_task(
+                        slot,
                         sid,
                         stream,
                         batch_start + elapsed,
@@ -568,7 +597,13 @@ impl EmbedServer {
     /// Task half of a point lookup: gather one row out of DRAM (cache slot
     /// if resident, else the staging copy the fetch phase just made) and
     /// charge the serve. Merged in arrival order by `serve_batch`.
-    fn lookup_task(&self, node: u32, stream: u64, sim_now: SimDuration) -> LookupOutcome {
+    fn lookup_task(
+        &self,
+        slot: &mut Option<ThreadMem>,
+        node: u32,
+        stream: u64,
+        sim_now: SimDuration,
+    ) -> LookupOutcome {
         let sid = self.store.shard_of(node);
         let off = self.store.row_offset(node);
         let d = self.store.dim();
@@ -577,7 +612,7 @@ impl EmbedServer {
             None => self.store.shard_raw(sid)[off..off + d].to_vec(),
         };
         let row_bytes = (d * std::mem::size_of::<f32>()) as u64;
-        let mut ctx = self.task_ctx(stream, sim_now);
+        let ctx = self.task_ctx_in(slot, stream, sim_now);
         ctx.charge_block(
             self.cfg.hot_placement(),
             AccessOp::Read,
@@ -587,7 +622,7 @@ impl EmbedServer {
         );
         ctx.add_cpu_ops(d as u64);
         let mut counters = ClassCounters::default();
-        let dur = self.task_settle(&ctx, &mut counters);
+        let dur = self.task_settle(ctx, &mut counters);
         LookupOutcome {
             row,
             counters,
@@ -607,10 +642,10 @@ impl EmbedServer {
         k: usize,
         sid: usize,
         scan_start: SimDuration,
-        scores: &mut Vec<f32>,
+        scratch: &mut TaskScratch,
     ) -> ScanOutcome {
         let bytes = self.store.shard_bytes(sid);
-        let mut ctx = self.task_ctx(SCAN_STREAM + sid as u64, scan_start);
+        let ctx = self.task_ctx_in(&mut scratch.ctx, SCAN_STREAM + sid as u64, scan_start);
         let mut stats = PathStats::default();
         // Simulated backoff accumulated by in-scan retries (folded into the
         // scan's span so the obs cursor keeps covering every nanosecond).
@@ -636,7 +671,7 @@ impl EmbedServer {
             // replica fallback on timeout or an exhausted budget.
             let mut attempt: u32 = 0;
             loop {
-                match self.store.try_read_shard(sid, &mut ctx) {
+                match self.store.try_read_shard(sid, ctx) {
                     Ok(rows) => {
                         stats.cold_read_bytes += bytes;
                         break rows;
@@ -672,8 +707,10 @@ impl EmbedServer {
         let d = self.store.dim();
         let lo = self.store.shard_rows(sid).start;
         let mut sel = TopK::new(k);
-        self.cfg.metric.scores_into(query, rows, d, scores);
-        for (i, &score) in scores.iter().enumerate() {
+        self.cfg
+            .metric
+            .scores_into(query, rows, d, &mut scratch.scores);
+        for (i, &score) in scratch.scores.iter().enumerate() {
             sel.push(lo + i as u32, score);
         }
         ctx.add_cpu_ops(2 * (rows.len() as u64));
@@ -712,7 +749,7 @@ impl EmbedServer {
             "serve.scan",
             this.cfg.threads,
             shards,
-            |scores: &mut Vec<f32>, sid| this.scan_shard_task(query, k, sid, scan_start, scores),
+            |s: &mut TaskScratch, sid| this.scan_shard_task(query, k, sid, scan_start, s),
         );
         let mut merged = ClassCounters::default();
         let mut penalty = SimDuration::ZERO;
@@ -791,7 +828,9 @@ impl EmbedServer {
                     "serve.fetch",
                     this.cfg.threads,
                     missing.len(),
-                    |_: &mut (), i| this.fetch_shard_task(missing[i], batch_start),
+                    |s: &mut TaskScratch, i| {
+                        this.fetch_shard_task(&mut s.ctx, missing[i], batch_start)
+                    },
                 );
                 for out in outcomes {
                     fetch_dur += self.merge_fetch(out);
@@ -816,8 +855,13 @@ impl EmbedServer {
                     "serve.lookup",
                     this.cfg.threads,
                     requests.len(),
-                    |_: &mut (), i| {
-                        this.lookup_task(requests[i].node, LOOKUP_STREAM + i as u64, phase_start)
+                    |s: &mut TaskScratch, i| {
+                        this.lookup_task(
+                            &mut s.ctx,
+                            requests[i].node,
+                            LOOKUP_STREAM + i as u64,
+                            phase_start,
+                        )
                     },
                 )
             };

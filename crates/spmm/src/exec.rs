@@ -868,6 +868,25 @@ impl SpmmEngine {
         }
     }
 
+    /// [`ctx_for`], but recycled out of a pool worker's persistent scratch
+    /// slot: a reset context is observationally identical to a fresh one,
+    /// so fault draws and counters match [`ctx_for`] byte-for-byte without
+    /// re-running construction on every workload of every batch.
+    ///
+    /// [`ctx_for`]: SpmmEngine::ctx_for
+    fn ctx_for_in<'s>(
+        &self,
+        slot: &'s mut Option<ThreadMem>,
+        group: &Group,
+        thread: usize,
+    ) -> &'s mut ThreadMem {
+        let node = match group.home {
+            Some(node) => node,
+            None => self.sys.topology().node_of_thread(thread),
+        };
+        self.sys.recycle_ctx_on(slot, node)
+    }
+
     /// Run all of a group's workloads for one column batch on real threads.
     #[allow(clippy::too_many_arguments)]
     fn run_batch(
@@ -899,9 +918,9 @@ impl SpmmEngine {
             "spmm.workload",
             threads,
             workloads.len(),
-            |_: &mut (), wi| {
+            |slot: &mut Option<ThreadMem>, wi| {
                 let w = &workloads[wi];
-                let mut ctx = self.ctx_for(group, w.thread);
+                let ctx = self.ctx_for_in(slot, group, w.thread);
                 // Salt the context clock so an installed fault plan draws
                 // independently per (batch, workload) — decided by data, never
                 // by OS thread scheduling.
@@ -913,7 +932,7 @@ impl SpmmEngine {
                     w,
                     local_cols.clone(),
                     prefetchers[wi].as_ref(),
-                    &mut ctx,
+                    ctx,
                 );
                 let penalty = ctx.injected_penalty();
                 let failed = ctx.take_fault().is_some();

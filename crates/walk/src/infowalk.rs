@@ -129,13 +129,16 @@ impl<'g> InfoWalker<'g> {
     /// Generate the adaptive corpus on the shared [`omega_par`] worker
     /// pool. Identical output to [`InfoWalker::generate_all`] at every
     /// worker count — per-walk seeding makes the index space freely
-    /// partitionable, and chunks merge in index order.
+    /// partitionable, and chunks merge in index order. Chunks are capped
+    /// well below `total / workers`: adaptive walk lengths are exactly the
+    /// skew the pool's work-stealing deques are there to rebalance.
     pub fn generate_all_parallel(&self, workers: usize) -> Vec<Vec<u32>> {
         let n = self.graph.rows() as usize;
         let total = n * self.cfg.walks_per_node;
         let workers = workers.max(1).min(total.max(1));
-        let chunk = total.div_ceil(workers);
-        omega_par::run_labeled("walk.infowalk", workers, workers, |_: &mut (), w| {
+        let chunk = total.div_ceil(workers).clamp(1, 128);
+        let tasks = total.div_ceil(chunk);
+        omega_par::run_labeled("walk.infowalk", workers, tasks, |_: &mut (), w| {
             let start = w * chunk;
             let end = ((w + 1) * chunk).min(total);
             (start..end)

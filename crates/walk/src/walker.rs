@@ -141,13 +141,17 @@ impl<'g> Walker<'g> {
     /// Identical output to [`Walker::generate_all`] at every worker count:
     /// each walk's RNG is seeded from its `(round, node)` index, so
     /// partitioning the walk index space is free, and chunks are merged in
-    /// index order.
+    /// index order. Chunks are capped well below `total / workers` so the
+    /// pool's work-stealing deques can rebalance skewed walk lengths
+    /// (hub-heavy regions walk slower) instead of waiting on the slowest
+    /// fixed partition.
     pub fn generate_all_parallel(&self, workers: usize) -> Vec<Vec<u32>> {
         let n = self.graph.rows() as usize;
         let total = n * self.cfg.walks_per_node;
         let workers = workers.max(1).min(total.max(1));
-        let chunk = total.div_ceil(workers);
-        omega_par::run_labeled("walk.generate", workers, workers, |_: &mut (), w| {
+        let chunk = total.div_ceil(workers).clamp(1, 128);
+        let tasks = total.div_ceil(chunk);
+        omega_par::run_labeled("walk.generate", workers, tasks, |_: &mut (), w| {
             let start = w * chunk;
             let end = ((w + 1) * chunk).min(total);
             (start..end)

@@ -115,11 +115,11 @@ fn serving_observables_identical_with_profiling_on_or_off() {
         let total = prof.total();
         assert!(total.calls + total.seq_calls > 0);
         assert_eq!(
-            total.exec_ns + total.idle_ns + total.barrier_ns,
+            total.exec_ns + total.idle_ns + total.park_ns + total.barrier_ns,
             total.worker_wall_ns
         );
         assert_eq!(
-            total.exec_wall_ns + total.idle_wall_ns + total.barrier_wall_ns,
+            total.exec_wall_ns + total.idle_wall_ns + total.park_wall_ns + total.barrier_wall_ns,
             total.wall_ns
         );
     }
@@ -171,10 +171,14 @@ fn training_observables_identical_with_profiling_on_or_off() {
 #[test]
 fn pool_timeline_bridge_is_sim_invisible() {
     let prof = PoolProfiler::enabled();
-    let (_, _, metrics_before, rec) = {
-        let _guard = install(&prof);
-        serve_run(8)
-    };
+    // Pin the dispatch policy: the bridge needs real pool calls even on
+    // single-core hosts, where the default adaptive policy would keep the
+    // serve fan-outs inline.
+    let (_, _, metrics_before, rec) =
+        omega::par::with_dispatch_policy(omega::par::DispatchPolicy::always_parallel(), || {
+            let _guard = install(&prof);
+            serve_run(8)
+        });
     let spans_before = rec.spans().len();
     record_pool_timeline(&rec, &prof, 1);
     let spans = rec.spans();
