@@ -50,10 +50,11 @@
 //! On a >15% regression the gate names the phase that grew most.
 
 use omega_bench::{
-    gate_records_from_json, gate_records_to_json, git_rev, percentile_u64, GateRecord,
+    gate_records_from_json, gate_records_to_json, git_rev, percentile_u64, write_results_jsonl,
+    GateRecord,
 };
 use omega_embed::prone::{Prone, ProneConfig};
-use omega_embed::Embedding;
+use omega_embed::{Embedding, Metric};
 use omega_graph::{Csdb, RmatConfig};
 use omega_hetmem::SimDuration;
 use omega_hetmem::{DeviceKind, MemSystem, Placement, Topology};
@@ -61,7 +62,9 @@ use omega_linalg::gaussian_matrix;
 use omega_obs::{Recorder, Track};
 use omega_par::PoolProfiler;
 use omega_plane::{PlaneConfig, Priority, RequestPlane, TenantSpec};
-use omega_serve::{EmbedServer, Popularity, RequestStream, ServeConfig, WorkloadConfig};
+use omega_serve::{
+    auto_nlist, EmbedServer, IndexMode, Popularity, RequestStream, ServeConfig, WorkloadConfig,
+};
 use omega_spmm::{SpmmConfig, SpmmEngine};
 use omega_walk::{InfoWalkConfig, InfoWalker};
 use std::path::{Path, PathBuf};
@@ -79,6 +82,11 @@ const REQUESTS: usize = 4_000;
 /// Top-k-heavy mix: shard scans are the parallel section worth measuring.
 const TOPK_FRACTION: f64 = 0.25;
 const TOPK_K: usize = 10;
+/// Query set for the IVF recall measurement: the first N node vectors,
+/// deterministic and independent of the popularity distribution.
+const RECALL_QUERIES: u32 = 200;
+/// Floor on IVF recall@[`TOPK_K`] at the auto (default) probe count.
+const MIN_IVF_RECALL: f64 = 0.95;
 /// SpMM workload.
 const SPMM_NODES: u32 = 2_000;
 const SPMM_EDGES: u64 = 30_000;
@@ -163,6 +171,102 @@ fn serving_traced(threads: usize) -> Recorder {
 
 fn serving_metrics(threads: usize) -> String {
     serving_traced(threads).metrics_jsonl()
+}
+
+/// The serving workload with the IVF cluster-then-probe index at its auto
+/// knobs (`nlist = ceil(sqrt(nodes))`, default `nprobe`) instead of the
+/// exact brute-force scan.
+fn serving_ivf_run(threads: usize) -> Sample {
+    let emb = Embedding::from_matrix(&gaussian_matrix(NODES as usize, DIM, SEED));
+    let shard_bytes = ROWS_PER_SHARD as u64 * DIM as u64 * 4;
+    let sys = MemSystem::new(Topology::paper_machine_scaled(
+        (2 * CACHE_SHARDS * shard_bytes).max(1 << 20),
+    ));
+    let cfg = ServeConfig::new(CACHE_SHARDS * shard_bytes)
+        .rows_per_shard(ROWS_PER_SHARD)
+        .cold(Placement::node(0, DeviceKind::Pm))
+        .threads(threads)
+        .index(IndexMode::Ivf {
+            nlist: 0,
+            nprobe: 0,
+        });
+    let mut srv = EmbedServer::new(&sys, &emb, cfg).expect("cold tier holds the table");
+    let mut load = RequestStream::new(
+        WorkloadConfig::lookups(NODES, Popularity::Zipf { s: 1.0 }, SEED)
+            .with_topk(TOPK_FRACTION, TOPK_K),
+    );
+    let start = Instant::now();
+    let report = srv.run(&mut load, REQUESTS);
+    Sample {
+        wall_ns: start.elapsed().as_nanos() as u64,
+        sim_ns: report.total_sim.as_nanos(),
+        bytes: report.traffic.total_bytes,
+    }
+}
+
+/// Recorder-enabled IVF serving run: the smoke determinism probe for the
+/// `serve.ivf.*` metric surface.
+fn serving_ivf_metrics(threads: usize) -> String {
+    let emb = Embedding::from_matrix(&gaussian_matrix(NODES as usize, DIM, SEED));
+    let shard_bytes = ROWS_PER_SHARD as u64 * DIM as u64 * 4;
+    let sys = MemSystem::new(Topology::paper_machine_scaled(
+        (2 * CACHE_SHARDS * shard_bytes).max(1 << 20),
+    ));
+    let cfg = ServeConfig::new(CACHE_SHARDS * shard_bytes)
+        .rows_per_shard(ROWS_PER_SHARD)
+        .cold(Placement::node(0, DeviceKind::Pm))
+        .threads(threads)
+        .index(IndexMode::Ivf {
+            nlist: 0,
+            nprobe: 0,
+        });
+    let rec = Recorder::enabled();
+    let mut srv = EmbedServer::new(&sys, &emb, cfg)
+        .unwrap()
+        .with_recorder(&rec, Track::MAIN);
+    let mut load = RequestStream::new(
+        WorkloadConfig::lookups(NODES, Popularity::Zipf { s: 1.0 }, SEED)
+            .with_topk(TOPK_FRACTION, TOPK_K),
+    );
+    srv.run(&mut load, REQUESTS / 4);
+    rec.metrics_jsonl()
+}
+
+/// Recall@[`TOPK_K`] of the IVF index against the exact oracle
+/// ([`Embedding::top_k`]) over the fixed [`RECALL_QUERIES`] query set,
+/// plus the simulated and wall nanoseconds those probes cost. `None`
+/// probes at the server's default `nprobe`.
+fn ivf_recall(nprobe: Option<usize>) -> (f64, u64, u64) {
+    let emb = Embedding::from_matrix(&gaussian_matrix(NODES as usize, DIM, SEED));
+    let shard_bytes = ROWS_PER_SHARD as u64 * DIM as u64 * 4;
+    let sys = MemSystem::new(Topology::paper_machine_scaled(
+        (2 * CACHE_SHARDS * shard_bytes).max(1 << 20),
+    ));
+    let cfg = ServeConfig::new(CACHE_SHARDS * shard_bytes)
+        .rows_per_shard(ROWS_PER_SHARD)
+        .cold(Placement::node(0, DeviceKind::Pm))
+        .index(IndexMode::Ivf {
+            nlist: 0,
+            nprobe: 0,
+        });
+    let mut srv = EmbedServer::new(&sys, &emb, cfg).expect("cold tier holds the table");
+    let start = Instant::now();
+    let sim_start = srv.sim_now();
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    for q in 0..RECALL_QUERIES {
+        let query = emb.vector(q);
+        let approx = srv.top_k_nprobe(query, TOPK_K, nprobe);
+        let oracle = emb.top_k(query, TOPK_K, Metric::Dot);
+        total += oracle.len();
+        hits += approx
+            .iter()
+            .filter(|(id, _)| oracle.iter().any(|(o, _)| o == id))
+            .count();
+    }
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    let sim_ns = (srv.sim_now() - sim_start).as_nanos();
+    (hits as f64 / total.max(1) as f64, sim_ns, wall_ns)
 }
 
 /// Shared setup for the plane workloads: `PLANE_REPLICAS` systems, one
@@ -495,6 +599,7 @@ fn measure(workload: &str, repeats: usize, rev: &str, run: impl Fn() -> Sample) 
         bytes: first.bytes,
         git_rev: rev.to_string(),
         speedup_milli: None,
+        recall_milli: None,
         phases: Vec::new(),
     };
     println!(
@@ -621,6 +726,69 @@ fn main() {
     enforce_speedup("serving_par8", speedup, min_cores);
     attribute(&mut serving[1], true, || serving_run(8));
 
+    println!("serving_ivf workloads (cluster-then-probe, auto nlist/nprobe):");
+    let mut serving_ivf = vec![
+        measure("serving_ivf_seq", repeats, &rev, || serving_ivf_run(1)),
+        measure("serving_ivf_par8", repeats, &rev, || serving_ivf_run(8)),
+    ];
+    assert_eq!(
+        serving_ivf[0].sim_ns, serving_ivf[1].sim_ns,
+        "thread count changed the IVF simulated clock"
+    );
+    assert_eq!(
+        serving_ivf[0].bytes, serving_ivf[1].bytes,
+        "thread count changed the IVF byte traffic"
+    );
+    let ivf_speedup = record_speedup(&mut serving_ivf);
+    println!("  serving_ivf wall speedup at 8 threads: {ivf_speedup:.2}x");
+    // Answer quality at the default exactness knob, recorded on both IVF
+    // records and floored: the auto nprobe must keep recall@k >= 95%.
+    let (recall, _, _) = ivf_recall(None);
+    let recall_milli = (recall * 1000.0).round() as u64;
+    for rec in &mut serving_ivf {
+        rec.recall_milli = Some(recall_milli);
+    }
+    println!("  recall@{TOPK_K} at default nprobe: {recall:.3}");
+    assert!(
+        recall >= MIN_IVF_RECALL,
+        "IVF recall@{TOPK_K} at the default nprobe is {recall:.3} \
+         (floor {MIN_IVF_RECALL})"
+    );
+    // The exactness knob is what buys the wall clock: at the default probe
+    // count the index must beat the brute-force scan's p50 at the same
+    // thread count. Asserted in full mode only — smoke runs on shared
+    // runners whose wall clocks are too noisy for cross-workload ratios.
+    let ivf_vs_brute = serving[1].wall_ns_p50 as f64 / serving_ivf[1].wall_ns_p50.max(1) as f64;
+    println!("  ivf vs brute-force wall p50 at 8 threads: {ivf_vs_brute:.2}x");
+    if !smoke && !update {
+        assert!(
+            serving_ivf[1].wall_ns_p50 < serving[1].wall_ns_p50,
+            "IVF wall p50 ({} ns) does not beat the brute-force scan ({} ns)",
+            serving_ivf[1].wall_ns_p50,
+            serving[1].wall_ns_p50
+        );
+    }
+
+    // The exactness-knob curve, machine-readable: recall and latency at a
+    // sweep of probe counts (results/ivf_recall.jsonl, a CI artifact).
+    println!("  nprobe sweep (nlist {}):", auto_nlist(NODES));
+    let nlist = auto_nlist(NODES);
+    let mut sweep: Vec<usize> = std::iter::successors(Some(1usize), |p| Some(p * 2))
+        .take_while(|&p| p < nlist)
+        .collect();
+    sweep.push(nlist);
+    let mut sweep_jsonl = String::new();
+    for &np in &sweep {
+        let (r, sim_ns, wall_ns) = ivf_recall(Some(np));
+        println!("    nprobe {np:>3}: recall@{TOPK_K} {r:.3}  sim {sim_ns} ns  wall {wall_ns} ns");
+        sweep_jsonl.push_str(&format!(
+            "{{\"nlist\": {nlist}, \"nprobe\": {np}, \"k\": {TOPK_K}, \
+             \"recall_milli\": {}, \"sim_ns\": {sim_ns}, \"wall_ns\": {wall_ns}}}\n",
+            (r * 1000.0).round() as u64
+        ));
+    }
+    write_results_jsonl("ivf_recall", &sweep_jsonl);
+
     println!("plane workloads:");
     let mut plane = vec![
         measure("plane_seq", repeats, &rev, || plane_run(1)),
@@ -685,6 +853,16 @@ fn main() {
             "serve metrics JSONL differs between 1 and 8 threads"
         );
         assert!(!seq.is_empty());
+        let ivf_seq = serving_ivf_metrics(1);
+        let ivf_par = serving_ivf_metrics(8);
+        assert_eq!(
+            ivf_seq, ivf_par,
+            "IVF serve metrics JSONL differs between 1 and 8 threads"
+        );
+        assert!(
+            ivf_seq.contains("serve.ivf.queries"),
+            "IVF run published no serve.ivf.* counters"
+        );
         let plane_seq = plane_metrics(1);
         let plane_par = plane_metrics(8);
         assert_eq!(
@@ -724,7 +902,7 @@ fn main() {
             "profiled smoke runs recorded no pool activity"
         );
         // Schema round-trip of everything we would write.
-        for recs in [&serving, &plane, &compute, &training] {
+        for recs in [&serving, &serving_ivf, &plane, &compute, &training] {
             assert_eq!(&gate_records_from_json(&gate_records_to_json(recs)), recs);
         }
         println!(
@@ -732,6 +910,9 @@ fn main() {
              profiling on/off, schema round-trips"
         );
     }
+
+    // IVF records live in the serving baseline file.
+    serving.extend(serving_ivf);
 
     let serving_path = repo_root().join("BENCH_serving.json");
     let plane_path = repo_root().join("BENCH_plane.json");

@@ -135,7 +135,9 @@ pub fn git_rev() -> String {
 /// (machine-dependent), its simulated time and byte traffic (exact,
 /// machine-independent), the revision it was taken at, plus informational
 /// wall-clock attribution — the seq-vs-parN speedup (in thousandths, so
-/// the record stays `Eq`; 850 reads as 0.85x) and a phase breakdown
+/// the record stays `Eq`; 850 reads as 0.85x), an answer-quality column
+/// for approximate workloads (recall@k vs the exact oracle, also in
+/// thousandths; `None` for exact workloads) and a phase breakdown
 /// (label → attributed wall ns) from one profiled run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GateRecord {
@@ -146,6 +148,7 @@ pub struct GateRecord {
     pub bytes: u64,
     pub git_rev: String,
     pub speedup_milli: Option<u64>,
+    pub recall_milli: Option<u64>,
     pub phases: Vec<(String, u64)>,
 }
 
@@ -180,6 +183,9 @@ pub fn gate_records_to_json(records: &[GateRecord]) -> String {
         ));
         if let Some(speedup) = r.speedup_milli {
             out.push_str(&format!(", \"speedup_milli\": {speedup}"));
+        }
+        if let Some(recall) = r.recall_milli {
+            out.push_str(&format!(", \"recall_milli\": {recall}"));
         }
         if !r.phases.is_empty() {
             out.push_str(", \"phases\": {");
@@ -316,6 +322,7 @@ pub fn gate_records_from_json(s: &str) -> Vec<GateRecord> {
                 bytes,
                 git_rev: str_field(obj, "git_rev").unwrap_or_default(),
                 speedup_milli: u64_field(obj, "speedup_milli"),
+                recall_milli: u64_field(obj, "recall_milli"),
                 phases,
             });
         }
@@ -408,6 +415,7 @@ mod tests {
                 bytes: 99,
                 git_rev: "abc1234".into(),
                 speedup_milli: None,
+                recall_milli: None,
                 phases: Vec::new(),
             },
             GateRecord {
@@ -418,6 +426,7 @@ mod tests {
                 bytes: 8,
                 git_rev: "unknown".into(),
                 speedup_milli: Some(3_250),
+                recall_milli: Some(978),
                 phases: vec![
                     ("fetch".into(), 100),
                     ("lookup".into(), 200),
@@ -430,6 +439,7 @@ mod tests {
         assert!(json.starts_with("[\n"));
         assert!(json.contains(r#""workload": "serving_seq""#));
         assert!(json.contains(r#""speedup_milli": 3250"#));
+        assert!(json.contains(r#""recall_milli": 978"#));
         assert!(json.contains(r#""phases": {"fetch": 100, "lookup": 200"#));
         // The record without phases must not gain empty trailing fields.
         assert!(json.contains("\"git_rev\": \"abc1234\"}"));
@@ -448,6 +458,7 @@ mod tests {
         let parsed = gate_records_from_json(legacy);
         assert_eq!(parsed.len(), 1);
         assert_eq!(parsed[0].speedup_milli, None);
+        assert_eq!(parsed[0].recall_milli, None);
         assert!(parsed[0].phases.is_empty());
     }
 
@@ -461,6 +472,7 @@ mod tests {
             bytes: 0,
             git_rev: String::new(),
             speedup_milli: None,
+            recall_milli: None,
             phases: phases
                 .into_iter()
                 .map(|(n, v)| (n.to_string(), v))

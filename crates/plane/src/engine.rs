@@ -330,10 +330,16 @@ impl RequestPlane {
         let mut end_ns: u64 = 0;
 
         let dim = self.servers[0].store().dim();
+        // The halved-fidelity probe count when replicas serve through an
+        // IVF index: the degrade ladder's halved-k tier also halves
+        // nprobe, so the degraded scan really does cost about half
+        // (an exact scan at halved k only shrinks the response).
+        let ivf_half_nprobe: Option<usize> =
+            self.servers[0].ivf().map(|ivf| (ivf.nprobe() / 2).max(1));
         let resp_bytes = |kind: RequestKind| -> u64 {
             match kind {
                 RequestKind::Get => (dim * 4) as u64,
-                RequestKind::TopK { k } => 16 + 8 * k as u64,
+                RequestKind::TopK { k, .. } => 16 + 8 * k as u64,
             }
         };
 
@@ -444,19 +450,23 @@ impl RequestPlane {
                 }
                 let (request, degraded) = match q.req.request.kind {
                     RequestKind::Get => (q.req.request, false),
-                    RequestKind::TopK { k } => {
+                    RequestKind::TopK { k, nprobe } => {
                         if est[r].topk_ns <= slack {
                             (q.req.request, false)
                         } else if est[r].topk_ns / 2 <= slack {
-                            // The scan nearly fits: halve k — same scan
-                            // cost, but half the response on the wire.
+                            // The scan nearly fits: halve k, and on an
+                            // IVF replica halve the probe count with it —
+                            // exact replicas only shrink the response on
+                            // the wire, IVF replicas really halve the
+                            // scanned lists.
                             let k = (k / 2).max(1);
+                            let nprobe = nprobe.map(|p| (p / 2).max(1)).or(ivf_half_nprobe);
                             stats.degraded_reduced_k += 1;
                             per_tenant[ti].degraded_reduced_k += 1;
                             (
                                 Request {
                                     node: q.req.request.node,
-                                    kind: RequestKind::TopK { k },
+                                    kind: RequestKind::TopK { k, nprobe },
                                 },
                                 true,
                             )

@@ -28,6 +28,12 @@
 //!   value. Spans `serve.batch` / `serve.fetch` / `serve.lookup` /
 //!   `serve.topk` / `serve.shard.parallel` and `serve.cache.*` counters
 //!   flow through `omega-obs`.
+//! * [`IvfIndex`] — optional cluster-then-probe approximate top-k
+//!   ([`ServeConfig::index`], [`IndexMode::Ivf`]): a seeded k-means coarse
+//!   quantizer with tier-aware inverted lists (centroids + hot lists in
+//!   DRAM, the tail on the cold tier), an `nprobe` exactness knob, and
+//!   `serve.ivf.*` counters. At `nprobe == nlist` its answers are
+//!   bit-identical to the retained brute-force oracle.
 //! * [`RequestStream`] — a deterministic closed-loop load generator
 //!   (seeded Zipfian or uniform popularity, optional top-k mix): the same
 //!   seed produces the same request stream on any machine, which makes
@@ -51,11 +57,13 @@
 //! ```
 
 mod cache;
+mod ivf;
 mod server;
 mod store;
 mod workload;
 
 pub use cache::{HotCache, InsertOutcome};
+pub use ivf::{auto_nlist, default_nprobe, IndexMode, IvfIndex};
 /// The scoped worker pool the per-shard batch work runs on. Re-exported
 /// from [`omega_par`] — one pool implementation serves the serving, SpMM,
 /// dense-kernel and walk paths alike.

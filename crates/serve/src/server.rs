@@ -35,6 +35,7 @@
 //! `phase` / `tasks` / `threads` args.
 
 use crate::cache::{HotCache, InsertOutcome};
+use crate::ivf::{IndexMode, IvfIndex};
 use crate::pool;
 use crate::store::ShardedStore;
 use crate::workload::{RequestKind, RequestStream};
@@ -74,6 +75,12 @@ pub struct ServeConfig {
     /// top-k shard scans). Purely a wall-clock knob: simulated clocks,
     /// metrics and results are byte-identical at every value.
     pub threads: usize,
+    /// How top-k queries are answered: exact brute-force scan (the
+    /// oracle), or cluster-then-probe through an [`IvfIndex`].
+    pub index: IndexMode,
+    /// DRAM budget for hot IVF inverted lists (largest lists first);
+    /// centroids are always DRAM-resident and do not count against it.
+    pub ivf_hot_bytes: u64,
 }
 
 impl ServeConfig {
@@ -92,6 +99,8 @@ impl ServeConfig {
             max_retries: 3,
             retry_backoff_ns: 2_000,
             threads: 1,
+            index: IndexMode::Exact,
+            ivf_hot_bytes: 64 << 10,
         }
     }
 
@@ -136,7 +145,27 @@ impl ServeConfig {
         self
     }
 
-    fn hot_placement(&self) -> Placement {
+    pub fn index(mut self, index: IndexMode) -> Self {
+        self.index = index;
+        self
+    }
+
+    pub fn ivf_hot_bytes(mut self, bytes: u64) -> Self {
+        self.ivf_hot_bytes = bytes;
+        self
+    }
+
+    /// The resolved `(nlist, nprobe)` an IVF server over `nodes` rows will
+    /// use (auto knobs filled in), or `None` in exact mode — what the
+    /// plane's degrade ladder halves against.
+    pub fn ivf_params(&self, nodes: u32) -> Option<(usize, usize)> {
+        match self.index.resolved(nodes) {
+            IndexMode::Exact => None,
+            IndexMode::Ivf { nlist, nprobe } => Some((nlist, nprobe)),
+        }
+    }
+
+    pub(crate) fn hot_placement(&self) -> Placement {
         Placement::node(self.hot_node, DeviceKind::Dram)
     }
 }
@@ -172,6 +201,18 @@ pub struct ServeStats {
     pub hedges_won: u64,
     /// Failures past the retry budget, served degraded from the replica.
     pub degraded: u64,
+    /// Top-k queries answered through the IVF probe path.
+    pub ivf_queries: u64,
+    /// Inverted lists visited by IVF queries (`nprobe` per query).
+    pub ivf_probes: u64,
+    /// DRAM bytes streamed scanning the centroid table.
+    pub ivf_centroid_bytes: u64,
+    /// DRAM bytes streamed from hot inverted lists (plus replica reads of
+    /// cold lists after a hedge/degrade).
+    pub ivf_dram_bytes: u64,
+    /// Cold-tier bytes streamed probing cold inverted lists (failed
+    /// attempts included, exactly like shard scans).
+    pub ivf_cold_bytes: u64,
 }
 
 impl ServeStats {
@@ -232,6 +273,8 @@ use omega_obs::percentile_u64 as percentile;
 const FETCH_STREAM: u64 = 1 << 20;
 const SCAN_STREAM: u64 = 2 << 20;
 const LOOKUP_STREAM: u64 = 3 << 20;
+const IVF_CENTROID_STREAM: u64 = 4 << 20;
+const IVF_PROBE_STREAM: u64 = 5 << 20;
 
 /// Byte/fault ledger deltas a worker task accumulated; applied to the
 /// run's [`ServeStats`] at merge time.
@@ -244,6 +287,9 @@ struct PathStats {
     faults_retried: u64,
     hedges_won: u64,
     degraded: u64,
+    ivf_centroid_bytes: u64,
+    ivf_dram_bytes: u64,
+    ivf_cold_bytes: u64,
 }
 
 impl PathStats {
@@ -255,6 +301,9 @@ impl PathStats {
         stats.faults_retried += self.faults_retried;
         stats.hedges_won += self.hedges_won;
         stats.degraded += self.degraded;
+        stats.ivf_centroid_bytes += self.ivf_centroid_bytes;
+        stats.ivf_dram_bytes += self.ivf_dram_bytes;
+        stats.ivf_cold_bytes += self.ivf_cold_bytes;
     }
 }
 
@@ -311,6 +360,9 @@ pub struct EmbedServer {
     sys: MemSystem,
     store: ShardedStore,
     cache: HotCache,
+    /// Cluster-then-probe index when [`ServeConfig::index`] asks for IVF
+    /// (and the table is non-degenerate); `None` serves exact scans.
+    ivf: Option<IvfIndex>,
     cfg: ServeConfig,
     rec: Recorder,
     track: Track,
@@ -336,10 +388,21 @@ impl EmbedServer {
             cfg.hot_placement(),
             cfg.admission,
         );
+        // A degenerate table (no rows, or zero-width rows) has nothing to
+        // cluster; the exact scan already handles it, so it stays the
+        // fallback.
+        let ivf = match cfg.index.resolved(emb.nodes()) {
+            IndexMode::Exact => None,
+            IndexMode::Ivf { nlist, nprobe } if emb.nodes() > 0 && emb.dim() > 0 => {
+                Some(IvfIndex::build(sys, emb, &cfg, nlist, nprobe)?)
+            }
+            IndexMode::Ivf { .. } => None,
+        };
         Ok(EmbedServer {
             sys: sys.clone(),
             store,
             cache,
+            ivf,
             cfg,
             rec: Recorder::disabled(),
             track: Track::MAIN,
@@ -363,6 +426,11 @@ impl EmbedServer {
 
     pub fn store(&self) -> &ShardedStore {
         &self.store
+    }
+
+    /// The IVF index serving top-k queries, when one is configured.
+    pub fn ivf(&self) -> Option<&IvfIndex> {
+        self.ivf.as_ref()
     }
 
     pub fn stats(&self) -> &ServeStats {
@@ -732,9 +800,193 @@ impl EmbedServer {
     /// served it — and, because per-shard counters merge exactly and are
     /// converted to time in **one** `thread_time` call, bit-identical to
     /// the sequential scan at every thread count.
-    fn scan_top_k(&mut self, query: &[f32], k: usize) -> (Vec<(u32, f32)>, SimDuration) {
+    fn scan_top_k(
+        &mut self,
+        query: &[f32],
+        k: usize,
+        nprobe: Option<usize>,
+    ) -> (Vec<(u32, f32)>, SimDuration) {
         // Wall-clock phase attribution only; simulated time is unaffected.
-        pool::phase_scope("topk", || self.scan_top_k_inner(query, k))
+        if self.ivf.is_some() {
+            pool::phase_scope("topk", || self.ivf_top_k_inner(query, k, nprobe))
+        } else {
+            pool::phase_scope("topk", || self.scan_top_k_inner(query, k))
+        }
+    }
+
+    /// Task half of one inverted-list probe: stream the list's rows from
+    /// wherever the build placed them — hot lists from DRAM, cold lists
+    /// from the cold tier with the same retry/hedge/degrade machinery as a
+    /// shard scan — then score every member row and keep the list's `k`
+    /// best. An empty list (skewed k-means) streams zero bytes and scores
+    /// nothing, but still burns its probe slot like any other list.
+    fn probe_list_task(
+        &self,
+        query: &[f32],
+        k: usize,
+        lid: usize,
+        scan_start: SimDuration,
+        scratch: &mut TaskScratch,
+    ) -> ScanOutcome {
+        let ivf = self.ivf.as_ref().expect("probe without an IVF index");
+        let bytes = ivf.list_bytes(lid);
+        let ctx = self.task_ctx_in(&mut scratch.ctx, IVF_PROBE_STREAM + lid as u64, scan_start);
+        let mut stats = PathStats::default();
+        let mut extra = SimDuration::ZERO;
+        let rows: &[f32] = if ivf.list_is_hot(lid) {
+            ctx.charge_block(
+                self.cfg.hot_placement(),
+                AccessOp::Read,
+                AccessPattern::Seq,
+                bytes,
+                1,
+            );
+            stats.dram_read_bytes += bytes;
+            stats.ivf_dram_bytes += bytes;
+            ivf.list_raw(lid)
+        } else {
+            let mut attempt: u32 = 0;
+            loop {
+                match ivf.try_read_list(lid, ctx) {
+                    Ok(rows) => {
+                        stats.cold_read_bytes += bytes;
+                        stats.ivf_cold_bytes += bytes;
+                        break rows;
+                    }
+                    Err(err) => {
+                        stats.cold_read_bytes += bytes;
+                        stats.ivf_cold_bytes += bytes;
+                        stats.faults_injected += 1;
+                        if !err.is_timeout() && attempt < self.cfg.max_retries {
+                            attempt += 1;
+                            stats.faults_retried += 1;
+                            extra += self.backoff(attempt);
+                            continue;
+                        }
+                        if err.is_timeout() {
+                            stats.hedges_won += 1;
+                        } else {
+                            stats.degraded += 1;
+                        }
+                        // Hedged/degraded: the DRAM replica of the list.
+                        ctx.charge_block(
+                            self.cfg.hot_placement(),
+                            AccessOp::Read,
+                            AccessPattern::Seq,
+                            bytes,
+                            1,
+                        );
+                        stats.dram_read_bytes += bytes;
+                        stats.ivf_dram_bytes += bytes;
+                        break ivf.list_raw(lid);
+                    }
+                }
+            }
+        };
+        let ids = ivf.list_ids(lid);
+        let mut sel = TopK::new(k);
+        self.cfg
+            .metric
+            .scores_into(query, rows, self.store.dim(), &mut scratch.scores);
+        for (i, &score) in scratch.scores.iter().enumerate() {
+            sel.push(ids[i], score);
+        }
+        ctx.add_cpu_ops(2 * (rows.len() as u64));
+        let mut counters = ClassCounters::default();
+        counters.merge(ctx.counters());
+        ScanOutcome {
+            counters,
+            penalty: ctx.injected_penalty(),
+            extra,
+            sel,
+            stats,
+        }
+    }
+
+    /// Cluster-then-probe top-k: one charged DRAM scan of the centroid
+    /// table picks the `nprobe` best lists (through the shared [`TopK`]
+    /// order, so probed sets nest as `nprobe` grows), then the probe legs
+    /// fan out list-per-task and merge in ascending list id. All counters
+    /// — centroid scan and probes — convert to simulated time in **one**
+    /// `thread_time` call, so the result and clock are byte-identical at
+    /// every thread count; at `nprobe == nlist` every row is scored
+    /// exactly once through the same kernels as the exact scan, making the
+    /// output bit-identical to the brute-force oracle.
+    fn ivf_top_k_inner(
+        &mut self,
+        query: &[f32],
+        k: usize,
+        nprobe: Option<usize>,
+    ) -> (Vec<(u32, f32)>, SimDuration) {
+        assert_eq!(query.len(), self.store.dim(), "query dimension mismatch");
+        let ivf = self.ivf.as_ref().expect("scan without an IVF index");
+        let nprobe = nprobe.unwrap_or(ivf.nprobe()).clamp(1, ivf.nlist());
+        let scan_start = self.sim_now;
+
+        // Centroid scan: charged DRAM stream plus scoring ops on its own
+        // fault stream. Its counters fold into the same single
+        // `thread_time` conversion as the probe legs below.
+        let mut merged = ClassCounters::default();
+        let mut penalty = SimDuration::ZERO;
+        let mut cstats = PathStats::default();
+        let mut slot: Option<ThreadMem> = None;
+        let lists = {
+            let bytes = ivf.centroid_bytes();
+            let ctx = self.task_ctx_in(&mut slot, IVF_CENTROID_STREAM, scan_start);
+            ctx.charge_block(
+                self.cfg.hot_placement(),
+                AccessOp::Read,
+                AccessPattern::Seq,
+                bytes,
+                1,
+            );
+            ctx.add_cpu_ops(2 * (ivf.nlist() * self.store.dim()) as u64);
+            cstats.dram_read_bytes += bytes;
+            cstats.ivf_centroid_bytes += bytes;
+            let mut scores = Vec::with_capacity(ivf.nlist());
+            let lists = ivf.select_lists(query, self.cfg.metric, nprobe, &mut scores);
+            merged.merge(ctx.counters());
+            penalty += ctx.injected_penalty();
+            lists
+        };
+        cstats.apply(&mut self.stats);
+
+        self.parallel_span("ivf.probe", lists.len());
+        let span = self.rec.begin("serve.topk", self.track);
+        self.rec.arg(&span, "k", k);
+        self.rec.arg(&span, "index", "ivf");
+        self.rec.arg(&span, "nprobe", lists.len());
+        let this: &EmbedServer = self;
+        let outcomes = pool::run_labeled(
+            "serve.ivf.probe",
+            this.cfg.threads,
+            lists.len(),
+            |s: &mut TaskScratch, i| {
+                this.probe_list_task(query, k, lists[i] as usize, scan_start, s)
+            },
+        );
+        let mut extra = SimDuration::ZERO;
+        let mut sel = TopK::new(k);
+        for out in outcomes {
+            merged.merge(&out.counters);
+            penalty += out.penalty;
+            extra += out.extra;
+            out.stats.apply(&mut self.stats);
+            sel.merge(out.sel);
+        }
+        let dur = self
+            .sys
+            .model()
+            .thread_time(&merged, self.cfg.model_threads)
+            + penalty
+            + extra;
+        self.counters.merge(&merged);
+        self.sim_now += dur;
+        self.stats.ivf_queries += 1;
+        self.stats.ivf_probes += lists.len() as u64;
+        let result = sel.into_sorted_vec();
+        self.rec.end(span, Some(dur));
+        (result, dur)
     }
 
     fn scan_top_k_inner(&mut self, query: &[f32], k: usize) -> (Vec<(u32, f32)>, SimDuration) {
@@ -887,12 +1139,12 @@ impl EmbedServer {
                         served += lk.dur;
                         responses.push(Response::Vector(lk.row));
                     }
-                    RequestKind::TopK { k } => {
+                    RequestKind::TopK { k, nprobe } => {
                         // Resolving the query vector is itself a row serve;
                         // fold it into the lookup span before the scan opens.
                         lookup_acc += lk.dur;
                         flush_lookups(&self.rec, self.track, &mut lookup_acc);
-                        let (neighbors, scan_dur) = self.scan_top_k(&lk.row, k);
+                        let (neighbors, scan_dur) = self.scan_top_k(&lk.row, k, nprobe);
                         self.stats.topks += 1;
                         served += lk.dur + scan_dur;
                         responses.push(Response::Neighbors(neighbors));
@@ -935,12 +1187,24 @@ impl EmbedServer {
 
     /// One top-k query with an explicit query vector (no batching).
     pub fn top_k(&mut self, query: &[f32], k: usize) -> Vec<(u32, f32)> {
+        self.top_k_nprobe(query, k, None)
+    }
+
+    /// [`EmbedServer::top_k`] with an explicit probe count (IVF mode only;
+    /// exact servers ignore it). `Some(nlist)` turns the index into the
+    /// oracle; smaller values trade recall for scanned bytes.
+    pub fn top_k_nprobe(
+        &mut self,
+        query: &[f32],
+        k: usize,
+        nprobe: Option<usize>,
+    ) -> Vec<(u32, f32)> {
         let span = self.rec.begin("serve.batch", self.track);
         self.rec.arg(&span, "requests", 1usize);
         self.stats.batches += 1;
         self.stats.requests += 1;
         self.stats.topks += 1;
-        let (result, _) = self.scan_top_k(query, k);
+        let (result, _) = self.scan_top_k(query, k, nprobe);
         self.rec.end(span, None);
         result
     }
@@ -988,6 +1252,19 @@ impl EmbedServer {
         self.rec.counter_set("fault.retried", stats.faults_retried);
         self.rec.counter_set("fault.hedge.won", stats.hedges_won);
         self.rec.counter_set("serve.degraded", stats.degraded);
+        // IVF counters exist only when an index is configured (an exact
+        // server has no probe subsystem to report on), and then always —
+        // zeros included — so runs differ only where behaviour does.
+        if self.ivf.is_some() {
+            self.rec.counter_set("serve.ivf.queries", stats.ivf_queries);
+            self.rec.counter_set("serve.ivf.probes", stats.ivf_probes);
+            self.rec
+                .counter_set("serve.ivf.centroid.bytes", stats.ivf_centroid_bytes);
+            self.rec
+                .counter_set("serve.ivf.list.dram.bytes", stats.ivf_dram_bytes);
+            self.rec
+                .counter_set("serve.ivf.list.cold.bytes", stats.ivf_cold_bytes);
+        }
         self.rec.gauge_set("serve.cache.hit_rate", stats.hit_rate());
         for &ns in &sim_latency_ns {
             self.rec.observe("serve.latency_ns", ns as f64);
@@ -1010,6 +1287,11 @@ impl EmbedServer {
         run_stats.faults_retried -= stats_start.faults_retried;
         run_stats.hedges_won -= stats_start.hedges_won;
         run_stats.degraded -= stats_start.degraded;
+        run_stats.ivf_queries -= stats_start.ivf_queries;
+        run_stats.ivf_probes -= stats_start.ivf_probes;
+        run_stats.ivf_centroid_bytes -= stats_start.ivf_centroid_bytes;
+        run_stats.ivf_dram_bytes -= stats_start.ivf_dram_bytes;
+        run_stats.ivf_cold_bytes -= stats_start.ivf_cold_bytes;
 
         ServeReport {
             stats: run_stats,

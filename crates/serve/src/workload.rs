@@ -27,8 +27,18 @@ pub enum Popularity {
 pub enum RequestKind {
     /// Point lookup: return the node's embedding vector.
     Get,
-    /// Brute-force nearest-neighbour query seeded by the node's vector.
-    TopK { k: usize },
+    /// Nearest-neighbour query seeded by the node's vector. `nprobe`
+    /// overrides the server's configured IVF probe count for this request
+    /// (`None` = server default; ignored by exact-scan servers) — the
+    /// channel the plane's degrade ladder uses to trade recall for time.
+    TopK { k: usize, nprobe: Option<usize> },
+}
+
+impl RequestKind {
+    /// A full-fidelity top-k request (server-default probe count).
+    pub fn top_k(k: usize) -> RequestKind {
+        RequestKind::TopK { k, nprobe: None }
+    }
 }
 
 /// One request of the stream.
@@ -140,7 +150,7 @@ impl RequestStream {
     pub fn next_request(&mut self) -> Request {
         let node = self.next_node();
         let kind = if self.cfg.topk_fraction > 0.0 && self.rng.gen_bool(self.cfg.topk_fraction) {
-            RequestKind::TopK { k: self.cfg.k }
+            RequestKind::top_k(self.cfg.k)
         } else {
             RequestKind::Get
         };
@@ -219,7 +229,7 @@ mod tests {
         assert!(reqs.iter().all(|r| r.node < 50));
         let topks = reqs
             .iter()
-            .filter(|r| matches!(r.kind, RequestKind::TopK { k: 5 }))
+            .filter(|r| matches!(r.kind, RequestKind::TopK { k: 5, nprobe: None }))
             .count();
         assert!((400..800).contains(&topks), "topk count {topks}");
     }

@@ -1,0 +1,128 @@
+//! Property-based tests of the IVF cluster-then-probe index against the
+//! retained brute-force oracle (`Embedding::top_k`).
+//!
+//! Two contracts are on trial:
+//!
+//! * **Exactness at full probe** — with `nprobe == nlist` the inverted
+//!   lists partition the table, every row is scored exactly once through
+//!   the same `Metric::scores_into` kernel the oracle uses, and the
+//!   selector's total order (score desc, id asc) does the rest: results
+//!   must be *bit*-identical to the oracle — ties, `k = 0` and `k > n`
+//!   included, at any thread count.
+//! * **Consistency under partial probe** — with `nprobe < nlist` the
+//!   index may miss rows, but never invents or reorders them: every
+//!   returned id carries the oracle's exact score bits and appears in the
+//!   oracle's global ranking order, and recall@k is monotone
+//!   non-decreasing in `nprobe` (probed list sets are nested), reaching
+//!   exactly 1 at full probe.
+
+use omega_embed::{Embedding, Metric};
+use omega_hetmem::{MemSystem, Topology};
+use omega_serve::{EmbedServer, IndexMode, ServeConfig};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Tie-rich embeddings: entries drawn from a tiny value alphabet so equal
+/// scores are common — the regime where only a total order keeps the
+/// blocked scan, the shard merge and the IVF probe merge in agreement.
+fn tie_rich_embedding(nodes: u32, d: usize, seed: u64) -> Embedding {
+    let alphabet = [-1.0f32, 0.0, 0.5, 1.0];
+    let data: Vec<f32> = (0..nodes as u64 * d as u64)
+        .map(|i| alphabet[((i * 2_654_435_761 + seed * 97) % 4) as usize])
+        .collect();
+    Embedding::from_row_major(nodes, d, data)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `nprobe == nlist` turns the index into the oracle, bit for bit.
+    #[test]
+    fn full_probe_is_bit_identical_to_oracle(
+        nodes in 1u32..400,
+        d in 1usize..16,
+        nlist in 1usize..24,
+        threads in 1usize..5,
+        seed in 0u64..500,
+        k_kind in 0usize..4,
+    ) {
+        let emb = tie_rich_embedding(nodes, d, seed);
+        let sys = MemSystem::new(Topology::paper_machine_scaled(16 << 20));
+        let cfg = ServeConfig::new(u64::MAX)
+            .threads(threads)
+            .index(IndexMode::Ivf { nlist, nprobe: nlist });
+        let mut srv = EmbedServer::new(&sys, &emb, cfg).unwrap();
+        let query: Vec<f32> = (0..d).map(|i| ((i as f32) - 2.0) * 0.5).collect();
+        // k = 0, a mid k, exactly n, and past n.
+        let k = match k_kind {
+            0 => 0,
+            1 => (nodes as usize / 2).max(1),
+            2 => nodes as usize,
+            _ => nodes as usize + 7,
+        };
+        let got = srv.top_k(&query, k);
+        let want = emb.top_k(&query, k, Metric::Dot);
+        prop_assert_eq!(got.len(), want.len());
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            prop_assert_eq!(g.0, w.0, "rank {} picked node {} not {}", i, g.0, w.0);
+            prop_assert_eq!(g.1.to_bits(), w.1.to_bits(), "rank {} score bits", i);
+        }
+    }
+
+    /// `nprobe < nlist`: returned ids are a subsequence of the oracle's
+    /// global ranking with the oracle's exact score bits, and recall@k
+    /// climbs monotonically to 1 as the probe count grows.
+    #[test]
+    fn partial_probe_is_oracle_consistent_and_recall_monotone(
+        nodes in 8u32..300,
+        d in 1usize..12,
+        nlist in 2usize..20,
+        seed in 0u64..500,
+        k in 1usize..20,
+    ) {
+        let emb = tie_rich_embedding(nodes, d, seed);
+        let sys = MemSystem::new(Topology::paper_machine_scaled(16 << 20));
+        let cfg = ServeConfig::new(u64::MAX).index(IndexMode::Ivf { nlist, nprobe: 0 });
+        let mut srv = EmbedServer::new(&sys, &emb, cfg).unwrap();
+        let nlist = srv.ivf().unwrap().nlist();
+        let query: Vec<f32> = (0..d).map(|i| 1.0 - (i as f32) * 0.25).collect();
+        // The oracle's full ranking: every node in (score desc, id asc)
+        // order. rank[v] = (position, score bits).
+        let full = emb.top_k(&query, nodes as usize, Metric::Dot);
+        let rank: HashMap<u32, (usize, u32)> = full
+            .iter()
+            .enumerate()
+            .map(|(i, &(v, s))| (v, (i, s.to_bits())))
+            .collect();
+        let oracle_k = k.min(nodes as usize);
+        let mut last_recall = 0.0f64;
+        for nprobe in 1..=nlist {
+            let got = srv.top_k_nprobe(&query, k, Some(nprobe));
+            prop_assert!(got.len() <= oracle_k);
+            let mut prev_rank = None;
+            for &(v, s) in &got {
+                let (r, bits) = rank[&v];
+                prop_assert_eq!(s.to_bits(), bits, "node {} score bits", v);
+                if let Some(p) = prev_rank {
+                    prop_assert!(r > p, "node {} out of oracle order", v);
+                }
+                prev_rank = Some(r);
+            }
+            let hits = got
+                .iter()
+                .filter(|(v, _)| full.iter().take(oracle_k).any(|(o, _)| o == v))
+                .count();
+            let recall = hits as f64 / oracle_k as f64;
+            prop_assert!(
+                recall + 1e-12 >= last_recall,
+                "recall dropped {} -> {} at nprobe {}",
+                last_recall,
+                recall,
+                nprobe
+            );
+            last_recall = recall;
+        }
+        // Full probe is the oracle: recall is exactly 1.
+        prop_assert!((last_recall - 1.0).abs() < 1e-12);
+    }
+}

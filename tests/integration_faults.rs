@@ -13,7 +13,7 @@ use omega_faults::{install_plan, FaultPlanSpec};
 use omega_hetmem::{DeviceKind, MemSystem, Placement, Topology};
 use omega_obs::{Recorder, Track};
 use omega_serve::{
-    EmbedServer, Popularity, Request, RequestKind, RequestStream, Response, ServeConfig,
+    EmbedServer, IndexMode, Popularity, Request, RequestKind, RequestStream, Response, ServeConfig,
     WorkloadConfig,
 };
 
@@ -85,12 +85,12 @@ fn chaos_requests() -> Vec<Request> {
         4,
         Request {
             node: 150,
-            kind: RequestKind::TopK { k: 5 },
+            kind: RequestKind::top_k(5),
         },
     );
     requests.push(Request {
         node: 63,
-        kind: RequestKind::TopK { k: 7 },
+        kind: RequestKind::top_k(7),
     });
     requests
 }
@@ -120,7 +120,7 @@ fn responses_under_every_plan_match_fault_free_values() {
                         "plan {name} round {round} node {}",
                         req.node
                     ),
-                    (RequestKind::TopK { k }, Response::Neighbors(n)) => assert_eq!(
+                    (RequestKind::TopK { k, .. }, Response::Neighbors(n)) => assert_eq!(
                         n,
                         &emb.top_k(emb.vector(req.node), k, Metric::Dot),
                         "plan {name} round {round} node {}",
@@ -156,6 +156,69 @@ fn responses_under_every_plan_match_fault_free_values() {
                 assert_eq!(st.hedges_won, st.faults_injected, "plan {name}");
             }
             // Spikes and degradation slow accesses down but never fail them.
+            "pm-spike" | "socket-degrade" => {
+                assert_eq!(st.faults_injected, 0, "plan {name} injects no failures");
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The IVF probe path under chaos: with a zero hot budget every inverted
+/// list lives on the cold tier, so probe reads face the same fault plans
+/// as fetches — and every response (Gets and approximate top-k alike)
+/// stays bit-identical to a fault-free run of the same index, while the
+/// resolution identity keeps balancing with probe traffic folded in.
+#[test]
+fn ivf_responses_under_every_plan_match_fault_free_values() {
+    let emb = embedding(300, 2);
+    let requests = chaos_requests();
+    let ivf_cfg = |cold: DeviceKind| {
+        config(4)
+            .cold(Placement::node(0, cold))
+            .index(IndexMode::Ivf {
+                nlist: 0,
+                nprobe: 0,
+            })
+            .ivf_hot_bytes(0)
+    };
+
+    for (name, spec, cold) in chaos_plans(plan_seed()) {
+        // Fault-free reference server with the identical IVF configuration.
+        let mut reference = EmbedServer::new(&system(), &emb, ivf_cfg(cold)).unwrap();
+        let sys = install_plan(&system(), spec);
+        let mut srv = EmbedServer::new(&sys, &emb, ivf_cfg(cold)).unwrap();
+        assert_eq!(
+            srv.ivf().unwrap().hot_list_count(),
+            0,
+            "plan {name}: a zero hot budget must leave every list cold"
+        );
+
+        for round in 0..4 {
+            let want = reference.serve_batch(&requests).responses;
+            let got = srv.serve_batch(&requests).responses;
+            assert_eq!(got, want, "plan {name} round {round}");
+        }
+
+        let st = srv.stats();
+        assert!(st.ivf_queries > 0, "plan {name}: top-k must route via IVF");
+        assert!(st.ivf_cold_bytes > 0, "plan {name}: probes must hit cold");
+        assert_eq!(
+            st.faults_injected,
+            st.faults_retried + st.hedges_won + st.degraded,
+            "plan {name}"
+        );
+        match name {
+            "transient-pm" => {
+                assert!(st.faults_injected > 0, "plan {name} must fire");
+                assert_eq!(st.hedges_won, 0, "plan {name}");
+            }
+            "ssd-timeout" => {
+                assert!(st.faults_injected > 0, "plan {name} must fire");
+                assert_eq!(st.faults_retried, 0, "plan {name}");
+                assert_eq!(st.degraded, 0, "plan {name}");
+                assert_eq!(st.hedges_won, st.faults_injected, "plan {name}");
+            }
             "pm-spike" | "socket-degrade" => {
                 assert_eq!(st.faults_injected, 0, "plan {name} injects no failures");
             }

@@ -13,7 +13,9 @@
 use omega::faults::{install_plan, FaultPlanSpec};
 use omega::hetmem::{DeviceKind, MemSystem, Placement, Topology};
 use omega::obs::{Recorder, Track};
-use omega::serve::{EmbedServer, Popularity, RequestStream, ServeConfig, WorkloadConfig};
+use omega::serve::{
+    EmbedServer, IndexMode, Popularity, RequestStream, ServeConfig, WorkloadConfig,
+};
 use omega::{Omega, OmegaConfig};
 use omega_graph::RmatConfig;
 use std::path::PathBuf;
@@ -70,6 +72,39 @@ fn serve_metrics_with_threads(plan: Option<FaultPlanSpec>, threads: usize) -> St
         .rows_per_shard(32)
         .cold(Placement::node(0, DeviceKind::Pm))
         .threads(threads);
+    let rec = Recorder::enabled();
+    let mut srv = EmbedServer::new(&sys, &emb, cfg)
+        .unwrap()
+        .with_recorder(&rec, Track::MAIN);
+    let mut load = RequestStream::new(
+        WorkloadConfig::lookups(2_000, Popularity::Zipf { s: 1.0 }, 7).with_topk(0.02, 5),
+    );
+    srv.run(&mut load, 2_000);
+    rec.metrics_jsonl()
+}
+
+/// The serving run of [`serve_metrics_with_threads`] with an IVF index in
+/// front of the top-k queries: auto `nlist`/`nprobe`, a hot-list budget
+/// small enough that some lists land on the cold (PM) tier, so the
+/// snapshot freezes centroid-scan, hot-probe and cold-probe accounting —
+/// the whole `serve.ivf.*` surface — alongside everything the exact run
+/// already pins.
+fn ivf_serve_metrics_with_threads(plan: Option<FaultPlanSpec>, threads: usize) -> String {
+    let emb = omega::Embedding::from_matrix(&omega::linalg::gaussian_matrix(2_000, 8, 42));
+    let sys = MemSystem::new(Topology::paper_machine_scaled(8 << 20));
+    let sys = match plan {
+        Some(spec) => install_plan(&sys, spec),
+        None => sys,
+    };
+    let cfg = ServeConfig::new(8 * 32 * 8 * 4)
+        .rows_per_shard(32)
+        .cold(Placement::node(0, DeviceKind::Pm))
+        .threads(threads)
+        .index(IndexMode::Ivf {
+            nlist: 0,
+            nprobe: 0,
+        })
+        .ivf_hot_bytes(8 << 10);
     let rec = Recorder::enabled();
     let mut srv = EmbedServer::new(&sys, &emb, cfg)
         .unwrap()
@@ -158,6 +193,41 @@ fn serve_metrics_match_golden() {
 fn faulted_serve_metrics_match_golden() {
     let spec = FaultPlanSpec::new(1729).with_transient(DeviceKind::Pm, 0.05, 3_000);
     assert_golden("serve_metrics_faulted.jsonl", &serve_metrics(Some(spec)));
+}
+
+/// The IVF serving run's metrics for one fixed-seed run, no faults: pins
+/// every `serve.ivf.*` counter and the probe traffic's simulated cost, and
+/// — because parallelism only partitions lists and shards — the 8-thread
+/// export must be byte-identical to the sequential snapshot.
+#[test]
+fn ivf_serve_metrics_match_golden() {
+    let got = ivf_serve_metrics_with_threads(None, 1);
+    assert!(
+        got.contains(r#""serve.ivf.queries""#),
+        "IVF counters missing from serving export"
+    );
+    assert_golden("serve_metrics_ivf.jsonl", &got);
+    assert_eq!(
+        got,
+        ivf_serve_metrics_with_threads(None, 8),
+        "8-thread IVF serving metrics drifted from the sequential run"
+    );
+}
+
+/// The same IVF serving run under the fixed fault plan the exact-path
+/// golden uses: cold-list probes join the injected schedule (streams keyed
+/// by list id), so retries/hedges on the probe path replay byte-identically
+/// at any thread count.
+#[test]
+fn faulted_ivf_serve_metrics_match_golden() {
+    let spec = || FaultPlanSpec::new(1729).with_transient(DeviceKind::Pm, 0.05, 3_000);
+    let got = ivf_serve_metrics_with_threads(Some(spec()), 1);
+    assert_golden("serve_metrics_ivf_faulted.jsonl", &got);
+    assert_eq!(
+        got,
+        ivf_serve_metrics_with_threads(Some(spec()), 8),
+        "faulted 8-thread IVF serving metrics drifted from the sequential run"
+    );
 }
 
 /// The same faulted serving run fanned out on an 8-thread worker pool:

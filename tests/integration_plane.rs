@@ -167,6 +167,78 @@ fn overload_keeps_served_p99_bounded() {
     );
 }
 
+/// The degrade ladder on IVF replicas: the reduced-k rung also halves the
+/// probe count, so degraded answers cost about half the scan — visible as
+/// a probe deficit versus `queries * nprobe` — while the accounting
+/// identities and thread-count determinism survive untouched.
+#[test]
+fn degrade_ladder_halves_nprobe_on_ivf_replicas() {
+    let run = |threads: usize| {
+        let emb = Embedding::from_matrix(&omega_linalg::gaussian_matrix(512, 8, 5));
+        let systems = vec![MemSystem::new(Topology::paper_machine_scaled(8 << 20))];
+        let serve_cfg = ServeConfig::new(8 << 10)
+            .rows_per_shard(32)
+            .batch_size(16)
+            .threads(threads)
+            .index(omega_serve::IndexMode::Ivf {
+                nlist: 0,
+                nprobe: 0,
+            });
+        let cfg = PlaneConfig::new(1)
+            .seed(7)
+            .horizon(SimDuration::from_secs_f64(HORIZON_S));
+        let rec = Recorder::enabled();
+        let mut plane = RequestPlane::new(&systems, &emb, serve_cfg, cfg)
+            .unwrap()
+            .with_recorder(&rec);
+        // A top-k-heavy overloaded mix. The deadline sits inside the
+        // reduced-k band — at least half the replica's full top-k
+        // estimate but below the whole scan — so the ladder's middle rung
+        // fires rather than completing at full fidelity (looser SLO) or
+        // collapsing straight to point lookups (tighter SLO).
+        let wl = WorkloadConfig::lookups(512, Popularity::Zipf { s: 1.0 }, 3).with_topk(0.5, 8);
+        let tenants = vec![
+            TenantSpec::poisson("interactive", 240_000.0, wl)
+                .with_priority(Priority::High)
+                .with_quota(30_000.0, 16.0)
+                .with_deadline_ns(550_000),
+            TenantSpec::poisson("batch", 160_000.0, wl)
+                .with_priority(Priority::Low)
+                .with_quota(30_000.0, 16.0)
+                .with_deadline_ns(550_000),
+        ];
+        let report = plane.run(&tenants);
+        let nprobe = plane.servers()[0].ivf().unwrap().nprobe();
+        let st = plane.servers()[0].stats().clone();
+        (report, st, nprobe, rec.metrics_jsonl())
+    };
+    let (report, st, nprobe, metrics) = run(1);
+    let s = &report.stats;
+    assert!(s.identity_holds(), "{s:?}");
+    assert!(
+        s.degraded_reduced_k > 0,
+        "the reduced-k rung must fire under 13x overload: {s:?}"
+    );
+    assert!(st.ivf_queries > 0, "top-k must route through the index");
+    // Every full-fidelity query probes `nprobe` lists, every reduced-k one
+    // probes half: a probe deficit proves the ladder reached the index.
+    assert!(
+        st.ivf_probes < st.ivf_queries * nprobe as u64,
+        "{} probes over {} queries shows no halved-nprobe degrades",
+        st.ivf_probes,
+        st.ivf_queries
+    );
+    assert!(st.ivf_probes >= st.ivf_queries * ((nprobe / 2).max(1)) as u64);
+
+    let (r8, st8, _, m8) = run(8);
+    assert_eq!(metrics, m8, "IVF plane metrics must not depend on threads");
+    assert_eq!(report.stats, r8.stats);
+    assert_eq!(
+        (st.ivf_queries, st.ivf_probes),
+        (st8.ivf_queries, st8.ivf_probes)
+    );
+}
+
 /// The plane composes with the fault layer: a timeout plan installed on
 /// every replica steers the servers' internal hedge machinery without
 /// breaking determinism or the accounting identities.
@@ -243,7 +315,7 @@ proptest! {
     ) {
         let wl = WorkloadConfig::lookups(512, Popularity::Zipf { s: 1.0 }, 3);
         let tenants = vec![
-            TenantSpec::poisson("a", rate_a, wl).with_deadline_ns(1_000_000),
+            TenantSpec::poisson("a", rate_a, wl).with_deadline_ns(550_000),
             TenantSpec::poisson("b", rate_b, wl).with_deadline_ns(7_000_000),
         ];
         let horizon_ns = (HORIZON_S * 1e9) as u64;

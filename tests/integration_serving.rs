@@ -6,7 +6,7 @@ use omega_embed::{Embedding, Metric};
 use omega_hetmem::{DeviceKind, MemSystem, Placement, Topology};
 use omega_obs::{Recorder, Track};
 use omega_serve::{
-    EmbedServer, Popularity, Request, RequestKind, RequestStream, Response, ServeConfig,
+    EmbedServer, IndexMode, Popularity, Request, RequestKind, RequestStream, Response, ServeConfig,
     WorkloadConfig,
 };
 
@@ -82,7 +82,7 @@ fn batching_never_reorders_responses() {
         4,
         Request {
             node: 150,
-            kind: RequestKind::TopK { k: 5 },
+            kind: RequestKind::top_k(5),
         },
     );
     let batch = srv.serve_batch(&requests);
@@ -92,7 +92,7 @@ fn batching_never_reorders_responses() {
             (RequestKind::Get, Response::Vector(v)) => {
                 assert_eq!(v.as_slice(), emb.vector(req.node), "node {}", req.node)
             }
-            (RequestKind::TopK { k }, Response::Neighbors(n)) => {
+            (RequestKind::TopK { k, .. }, Response::Neighbors(n)) => {
                 assert_eq!(n.len(), k);
                 assert_eq!(n, &emb.top_k(emb.vector(req.node), k, Metric::Dot));
             }
@@ -370,4 +370,164 @@ fn out_of_range_request_panics_with_context() {
     let sys = system();
     let mut srv = EmbedServer::new(&sys, &emb, config(2)).unwrap();
     srv.get_vectors(&[100]);
+}
+
+/// IVF probe traffic is double-entry bookkept: on a pure top-k stream
+/// (no point lookups) every byte the hetmem ledger charged is attributed
+/// to exactly one `ivf_*` stat — centroid scans and hot-list probes in
+/// DRAM, cold-list probes on the cold tier — and the serve ledger's own
+/// tier split agrees.
+#[test]
+fn ivf_probe_bytes_match_access_summary() {
+    let emb = embedding(400, 9);
+    let sys = system();
+    // A tight hot budget so both hot and cold lists exist.
+    let cfg = config(4)
+        .index(IndexMode::Ivf {
+            nlist: 0,
+            nprobe: 0,
+        })
+        .ivf_hot_bytes(1 << 10);
+    let mut srv = EmbedServer::new(&sys, &emb, cfg).unwrap();
+    let (nlist, hot) = {
+        let ivf = srv.ivf().expect("Ivf mode builds an index");
+        (ivf.nlist(), ivf.hot_list_count())
+    };
+    assert!(
+        hot > 0 && hot < nlist,
+        "want a hot/cold split, got {hot}/{nlist}"
+    );
+
+    for q in [0u32, 13, 200, 399] {
+        let query = emb.vector(q).to_vec();
+        for nprobe in [1, nlist / 2, nlist] {
+            srv.top_k_nprobe(&query, 10, Some(nprobe.max(1)));
+        }
+    }
+
+    let st = srv.stats().clone();
+    let traffic = srv.traffic();
+    assert_eq!(st.ivf_queries, 12);
+    assert!(st.ivf_probes > st.ivf_queries);
+    // Hetmem ledger vs. IVF attribution: nothing else touched memory.
+    assert_eq!(traffic.pm_bytes, st.ivf_cold_bytes);
+    assert_eq!(
+        traffic.dram_bytes,
+        st.ivf_centroid_bytes + st.ivf_dram_bytes
+    );
+    // And the serve ledger's tier split is the same numbers.
+    assert_eq!(st.cold_read_bytes, st.ivf_cold_bytes);
+    assert_eq!(
+        st.dram_read_bytes,
+        st.ivf_centroid_bytes + st.ivf_dram_bytes
+    );
+    assert_eq!(st.dram_write_bytes, 0, "probes stage nothing");
+    assert!(st.ivf_centroid_bytes > 0);
+    assert!(st.ivf_dram_bytes > 0, "hot lists were probed");
+    assert!(st.ivf_cold_bytes > 0, "cold lists were probed");
+}
+
+/// The `serve.ivf.*` counters published by a run mirror the stats ledger
+/// exactly, the pre-existing tier identities still hold with IVF traffic
+/// folded in, and the whole export is byte-identical at 1 and 8 threads.
+#[test]
+fn ivf_counters_published_and_thread_invariant() {
+    let run = |threads: usize| {
+        let emb = embedding(400, 9);
+        let sys = system();
+        let rec = Recorder::enabled();
+        let cfg = config(4)
+            .threads(threads)
+            .index(IndexMode::Ivf {
+                nlist: 0,
+                nprobe: 0,
+            })
+            .ivf_hot_bytes(1 << 10);
+        let mut srv = EmbedServer::new(&sys, &emb, cfg)
+            .unwrap()
+            .with_recorder(&rec, Track::MAIN);
+        let mut load = RequestStream::new(
+            WorkloadConfig::lookups(400, Popularity::Zipf { s: 1.0 }, 21).with_topk(0.3, 8),
+        );
+        let report = srv.run(&mut load, 1_500);
+        (report, rec.metrics_jsonl())
+    };
+    let (report, metrics) = run(1);
+    let st = &report.stats;
+    assert!(st.ivf_queries > 0 && st.ivf_queries == st.topks);
+
+    let rows = omega_obs::export::parse_metrics_jsonl(&metrics).unwrap();
+    let counter = |name: &str| {
+        rows.iter()
+            .find(|(k, n, _)| k == "counter" && n == name)
+            .map(|(_, _, v)| *v as u64)
+            .unwrap_or_else(|| panic!("missing counter {name}"))
+    };
+    assert_eq!(counter("serve.ivf.queries"), st.ivf_queries);
+    assert_eq!(counter("serve.ivf.probes"), st.ivf_probes);
+    assert_eq!(counter("serve.ivf.centroid.bytes"), st.ivf_centroid_bytes);
+    assert_eq!(counter("serve.ivf.list.dram.bytes"), st.ivf_dram_bytes);
+    assert_eq!(counter("serve.ivf.list.cold.bytes"), st.ivf_cold_bytes);
+    // IVF traffic feeds the same tier ledger the exact path uses.
+    assert_eq!(report.traffic.pm_bytes, st.cold_read_bytes);
+    assert_eq!(
+        report.traffic.dram_bytes,
+        st.dram_read_bytes + st.dram_write_bytes
+    );
+    assert!(st.ivf_cold_bytes <= st.cold_read_bytes);
+    assert!(st.ivf_centroid_bytes + st.ivf_dram_bytes <= st.dram_read_bytes);
+
+    let (_, par) = run(8);
+    assert_eq!(metrics, par, "IVF metrics must not depend on thread count");
+}
+
+/// IVF edge cases: `k = 0`, `k` far past the probed union, and the
+/// empty lists a degenerate (constant) table leaves behind.
+#[test]
+fn ivf_edge_cases_answer_exactly() {
+    let emb = embedding(40, 10);
+    let sys = system();
+    let cfg = config(4).index(IndexMode::Ivf {
+        nlist: 8,
+        nprobe: 2,
+    });
+    let mut srv = EmbedServer::new(&sys, &emb, cfg).unwrap();
+    let query = emb.vector(7).to_vec();
+
+    // k = 0 is a legal no-op.
+    assert!(srv.top_k(&query, 0).is_empty());
+
+    // k far past the probed rows: the answer is exactly the probed union,
+    // in oracle order with oracle score bits.
+    let got = srv.top_k_nprobe(&query, 100, Some(2));
+    let ivf = srv.ivf().unwrap();
+    let mut scores = Vec::new();
+    let lists = ivf.select_lists(&query, Metric::Dot, 2, &mut scores);
+    let union: usize = lists.iter().map(|&c| ivf.list_ids(c as usize).len()).sum();
+    assert_eq!(
+        got.len(),
+        union,
+        "k past the union returns every probed row"
+    );
+    let expect: Vec<(u32, f32)> = emb
+        .top_k(&query, 40, Metric::Dot)
+        .into_iter()
+        .filter(|(v, _)| lists.iter().any(|&c| ivf.list_ids(c as usize).contains(v)))
+        .collect();
+    assert_eq!(got, expect);
+
+    // A constant table collapses k-means onto one cluster; the empty rest
+    // probe for free and answers stay exact — even probing a single list.
+    let flat = Embedding::from_row_major(64, 4, vec![1.0; 64 * 4]);
+    let cfg = config(4).index(IndexMode::Ivf {
+        nlist: 8,
+        nprobe: 8,
+    });
+    let mut srv = EmbedServer::new(&sys, &flat, cfg).unwrap();
+    let empties = srv.ivf().unwrap().empty_list_count();
+    assert_eq!(empties, 7, "all rows collapse into one list");
+    let q = vec![1.0; 4];
+    let want = flat.top_k(&q, 5, Metric::Dot);
+    assert_eq!(srv.top_k(&q, 5), want);
+    assert_eq!(srv.top_k_nprobe(&q, 5, Some(1)), want);
 }
