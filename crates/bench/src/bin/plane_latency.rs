@@ -12,7 +12,12 @@
 //! while the drop/degrade counters absorb the overload — the queue never
 //! grows without bound.
 //!
-//! Writes machine-readable rows to `results/plane_latency.jsonl`.
+//! Writes machine-readable rows to `results/plane_latency.jsonl`, then
+//! runs the million-request scale sweep: ≥1M offered arrivals pushed
+//! through admission, routing and the concurrent replica lanes at
+//! replica counts 1/2/4, with latency kept in streaming fixed-bucket
+//! histograms (constant memory at any request count) — rows land in
+//! `results/plane_scale.jsonl`.
 
 use omega_bench::{print_table, write_results_jsonl, DIM};
 use omega_embed::Embedding;
@@ -132,6 +137,126 @@ const HEADER: [&str; 8] = [
 
 const RATES: [f64; 6] = [5_000.0, 10_000.0, 20_000.0, 40_000.0, 80_000.0, 160_000.0];
 
+/// Scale sweep: ≥1M offered requests per row (rate × horizon), quotas
+/// tight enough that the admitted stream stays within the tier's
+/// capacity — the front sheds the rest, which is exactly the plane's
+/// job at this scale.
+const SCALE_RATE: f64 = 4_000_000.0;
+const SCALE_HORIZON_MS: u64 = 300;
+const SCALE_QUOTA_QPS: f64 = 100_000.0;
+const SCALE_REPLICAS: [usize; 3] = [1, 2, 4];
+
+/// One million-request scale measurement.
+#[derive(Serialize)]
+struct ScaleRow {
+    replicas: usize,
+    offered_qps: f64,
+    horizon_ms: u64,
+    offered: u64,
+    admitted: u64,
+    rejected_quota: u64,
+    rejected_queue: u64,
+    completed: u64,
+    degraded: u64,
+    dropped: u64,
+    hedged_routes: u64,
+    slo_miss: u64,
+    served_qps: f64,
+    goodput_qps: f64,
+    p50_ns: u64,
+    p95_ns: u64,
+    p99_ns: u64,
+    queue_wait_p99_ns: u64,
+    wall_ms: u64,
+}
+
+fn run_scale(replicas: usize) -> ScaleRow {
+    let emb = Embedding::from_matrix(&gaussian_matrix(NODES as usize, DIM, SEED));
+    let shard_bytes = ROWS_PER_SHARD as u64 * DIM as u64 * 4;
+    let systems: Vec<MemSystem> = (0..replicas)
+        .map(|_| {
+            MemSystem::new(Topology::paper_machine_scaled(
+                (2 * CACHE_SHARDS * shard_bytes).max(1 << 20),
+            ))
+        })
+        .collect();
+    let serve_cfg = ServeConfig::new(CACHE_SHARDS * shard_bytes)
+        .rows_per_shard(ROWS_PER_SHARD)
+        .cold(Placement::node(0, DeviceKind::Pm));
+    let plane_cfg = PlaneConfig::new(replicas)
+        .seed(SEED)
+        .horizon(SimDuration::from_secs_f64(SCALE_HORIZON_MS as f64 * 1e-3));
+    let wl =
+        WorkloadConfig::lookups(NODES, Popularity::Zipf { s: 1.0 }, SEED).with_topk(0.05, TOPK_K);
+    let tenants = vec![
+        TenantSpec::poisson("interactive", SCALE_RATE * 0.6, wl)
+            .with_priority(Priority::High)
+            .with_quota(SCALE_QUOTA_QPS, 64.0)
+            .with_deadline_ns(DEADLINE_NS),
+        TenantSpec::poisson("batch", SCALE_RATE * 0.4, wl)
+            .with_priority(Priority::Low)
+            .with_quota(SCALE_QUOTA_QPS, 64.0)
+            .with_deadline_ns(DEADLINE_NS * 4),
+    ];
+    let mut plane =
+        RequestPlane::new(&systems, &emb, serve_cfg, plane_cfg).expect("cold tier holds the table");
+    let start = std::time::Instant::now();
+    let report = plane.run(&tenants);
+    let wall_ms = start.elapsed().as_millis() as u64;
+    let s = &report.stats;
+    assert!(s.identity_holds(), "plane accounting identities must hold");
+    assert!(
+        s.offered >= 1_000_000,
+        "scale sweep must offer at least one million requests, got {}",
+        s.offered
+    );
+    ScaleRow {
+        replicas,
+        offered_qps: SCALE_RATE,
+        horizon_ms: SCALE_HORIZON_MS,
+        offered: s.offered,
+        admitted: s.admitted,
+        rejected_quota: s.rejected_quota,
+        rejected_queue: s.rejected_queue,
+        completed: s.completed,
+        degraded: s.degraded,
+        dropped: s.dropped,
+        hedged_routes: s.hedged_routes,
+        slo_miss: s.slo_miss,
+        served_qps: report.served_qps(),
+        goodput_qps: report.goodput_qps(),
+        p50_ns: report.latency_percentile_ns(0.50),
+        p95_ns: report.latency_percentile_ns(0.95),
+        p99_ns: report.latency_percentile_ns(0.99),
+        queue_wait_p99_ns: report.queue_wait_percentile_ns(0.99),
+        wall_ms,
+    }
+}
+
+fn scale_table_row(r: &ScaleRow) -> Vec<String> {
+    vec![
+        r.replicas.to_string(),
+        r.offered.to_string(),
+        format!("{}/{}", r.rejected_quota + r.rejected_queue, r.admitted),
+        format!("{}/{}/{}", r.completed, r.degraded, r.dropped),
+        format!("{:.0}", r.served_qps),
+        format!("{:.0}", r.goodput_qps),
+        r.p99_ns.to_string(),
+        r.wall_ms.to_string(),
+    ]
+}
+
+const SCALE_HEADER: [&str; 8] = [
+    "replicas",
+    "offered",
+    "rej/adm",
+    "cmp/deg/drp",
+    "served qps",
+    "goodput",
+    "p99 ns",
+    "wall ms",
+];
+
 fn main() {
     let mut jsonl = String::new();
     for replicas in [1usize, 4] {
@@ -151,4 +276,22 @@ fn main() {
         );
     }
     write_results_jsonl("plane_latency", &jsonl);
+
+    let mut scale_jsonl = String::new();
+    let mut rows = Vec::new();
+    for replicas in SCALE_REPLICAS {
+        let r = run_scale(replicas);
+        rows.push(scale_table_row(&r));
+        scale_jsonl.push_str(&json_line(&r));
+    }
+    print_table(
+        &format!(
+            "Plane scale: {:.1}M offered requests over {SCALE_HORIZON_MS} ms, \
+             streaming histograms",
+            SCALE_RATE * SCALE_HORIZON_MS as f64 * 1e-3 * 1e-6
+        ),
+        &SCALE_HEADER,
+        &rows,
+    );
+    write_results_jsonl("plane_scale", &scale_jsonl);
 }

@@ -566,22 +566,39 @@ fn plane(opts: &Opts) -> Result<(), String> {
     let dram = (2 * cache_shards * shard_bytes)
         .max(table_bytes.div_ceil(8))
         .max(1 << 16);
-    let fault_plan = opts.values.get("fault-plan").cloned();
+    // A fault plan installs its memory-path rules on every replica's
+    // system; its `outage` rules address the plane itself and are
+    // extracted into replica outage windows for the router to steer
+    // around.
+    let fault_spec = match opts.values.get("fault-plan") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            Some(omega::faults::FaultPlanSpec::parse(&text).map_err(|e| format!("{path}: {e}"))?)
+        }
+        None => None,
+    };
+    let outages: Vec<omega::plane::Outage> = fault_spec
+        .as_ref()
+        .map(|spec| {
+            spec.outages()
+                .into_iter()
+                .map(|(replica, from_ns, until_ns)| omega::plane::Outage {
+                    replica,
+                    from_ns,
+                    until_ns,
+                })
+                .collect()
+        })
+        .unwrap_or_default();
     let systems: Vec<MemSystem> = (0..replicas)
         .map(|_| {
             let sys = MemSystem::new(Topology::paper_machine_scaled(dram));
-            match &fault_plan {
-                Some(path) => {
-                    let text = std::fs::read_to_string(path)
-                        .map_err(|e| format!("reading {path}: {e}"))?;
-                    let spec = omega::faults::FaultPlanSpec::parse(&text)
-                        .map_err(|e| format!("{path}: {e}"))?;
-                    Ok(omega::faults::install_plan(&sys, spec))
-                }
-                None => Ok(sys),
+            match &fault_spec {
+                Some(spec) => omega::faults::install_plan(&sys, spec.clone()),
+                None => sys,
             }
         })
-        .collect::<Result<_, String>>()?;
+        .collect();
 
     let serve_cfg = ServeConfig::new(cache_shards * shard_bytes)
         .rows_per_shard(rows_per_shard)
@@ -616,7 +633,8 @@ fn plane(opts: &Opts) -> Result<(), String> {
 
     let mut plane = RequestPlane::new(&systems, &emb, serve_cfg, plane_cfg)
         .map_err(|e| format!("placing shards on {cold_device:?}: {e}"))?
-        .with_recorder(&rec);
+        .with_recorder(&rec)
+        .with_outages(&outages);
     let report = plane.run(&tenants);
 
     let s = &report.stats;
@@ -634,8 +652,8 @@ fn plane(opts: &Opts) -> Result<(), String> {
         s.degraded_reduced_k, s.degraded_to_get
     );
     println!(
-        "routing           {} hedged to ring successor",
-        s.hedged_routes
+        "routing           {} hedged to ring successor, {} rerouted around outages",
+        s.hedged_routes, s.rerouted_outage
     );
     println!("slo               {} served past deadline", s.slo_miss);
     println!(

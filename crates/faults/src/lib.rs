@@ -86,6 +86,18 @@ pub enum FaultRule {
         factor: f64,
         from_ns: u64,
     },
+    /// Whole-replica outage window. This rule addresses the layer *above*
+    /// the memory substrate: the request plane stops routing to `replica`
+    /// while `now ∈ [from_ns, until_ns)` and floors its dispatch clock at
+    /// the window end, so recovery restores primary routing. Memory
+    /// accesses are untouched ([`FaultHook::on_access`] ignores it) —
+    /// the rule lives here so one plan file describes machine- and
+    /// replica-level misbehaviour together.
+    Outage {
+        replica: u32,
+        from_ns: u64,
+        until_ns: u64,
+    },
 }
 
 /// A seed plus rules: the portable, serialisable description of a chaos
@@ -156,6 +168,32 @@ impl FaultPlanSpec {
         self
     }
 
+    pub fn with_outage(mut self, replica: u32, from_ns: u64, until_ns: u64) -> Self {
+        self.rules.push(FaultRule::Outage {
+            replica,
+            from_ns,
+            until_ns,
+        });
+        self
+    }
+
+    /// The plan's replica-outage windows as `(replica, from_ns, until_ns)`
+    /// — the request plane consumes these for routing/recovery steering
+    /// while the memory-level hook ignores them.
+    pub fn outages(&self) -> Vec<(u32, u64, u64)> {
+        self.rules
+            .iter()
+            .filter_map(|rule| match rule {
+                FaultRule::Outage {
+                    replica,
+                    from_ns,
+                    until_ns,
+                } => Some((*replica, *from_ns, *until_ns)),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Parse the line-based plan-file format (see crate docs of the repo's
     /// README). Grammar, one directive per line, `#` comments:
     ///
@@ -223,6 +261,11 @@ impl FaultPlanSpec {
                         .ok_or_else(|| "degrade rule needs node=<id>".to_string())?,
                     factor: fields.factor()?,
                     from_ns: fields.duration_ns("from")?.unwrap_or(0),
+                },
+                "outage" => FaultRule::Outage {
+                    replica: fields.replica()?,
+                    from_ns: fields.duration_ns("from")?.unwrap_or(0),
+                    until_ns: fields.duration_ns("until")?.unwrap_or(FOREVER),
                 },
                 other => return Err(err(format!("unknown rule kind `{other}`"))),
             };
@@ -307,6 +350,16 @@ impl FaultPlanSpec {
                     "degrade node={} factor={} from_ns={}\n",
                     n, factor, from_ns
                 )),
+                FaultRule::Outage {
+                    replica,
+                    from_ns,
+                    until_ns,
+                } => out.push_str(&format!(
+                    "outage replica={} from_ns={}{}\n",
+                    replica,
+                    from_ns,
+                    until(until_ns)
+                )),
             }
         }
         out
@@ -347,6 +400,14 @@ impl Fields {
             Some(v) => parse_device(&v),
             None => Ok(default),
         }
+    }
+
+    fn replica(&mut self) -> Result<u32, String> {
+        let v = self
+            .take("replica")
+            .ok_or_else(|| "outage rule needs replica=<id>".to_string())?;
+        v.parse::<u32>()
+            .map_err(|e| format!("bad replica `{v}`: {e}"))
     }
 
     fn node_opt(&mut self) -> Result<Option<NodeId>, String> {
@@ -522,6 +583,9 @@ impl FaultHook for FaultPlan {
                         ));
                     }
                 }
+                // Replica outages act at the request-plane layer, not on
+                // individual memory accesses.
+                FaultRule::Outage { .. } => {}
                 FaultRule::Timeout {
                     device,
                     node,
@@ -766,6 +830,28 @@ degrade node=1 factor=1.5 from_ms=0
         // to_text → parse is the identity on the spec.
         let reparsed = FaultPlanSpec::parse(&spec.to_text()).unwrap();
         assert_eq!(reparsed, spec);
+    }
+
+    #[test]
+    fn outage_rule_round_trips_and_spares_memory_accesses() {
+        let text =
+            "seed = 9\noutage replica=1 from_ms=10 until_ms=20\noutage replica=0 from_ms=5\n";
+        let spec = FaultPlanSpec::parse(text).unwrap();
+        assert_eq!(
+            spec.outages(),
+            vec![(1, 10_000_000, 20_000_000), (0, 5_000_000, FOREVER)]
+        );
+        let reparsed = FaultPlanSpec::parse(&spec.to_text()).unwrap();
+        assert_eq!(reparsed, spec);
+        // Memory accesses inside the outage window stay clean: the rule
+        // steers the request plane, never the substrate.
+        let p = plan(spec);
+        assert_eq!(
+            p.on_access(SimDuration::from_nanos(15_000_000), 0, &pm_read(4096)),
+            FaultVerdict::Ok
+        );
+        assert!(FaultPlanSpec::parse("seed = 1\noutage from_ms=1").is_err());
+        assert!(FaultPlanSpec::parse("seed = 1\noutage replica=x from_ms=1").is_err());
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod json;
 pub mod metrics;
 pub mod profile;
 
-pub use metrics::{percentile_u64, Histogram, MetricsSnapshot};
+pub use metrics::{percentile_u64, Histogram, LatencyHistogram, MetricsSnapshot};
 pub use profile::{record_pool_timeline, SpanAggregate};
 
 use omega_hetmem::{SimDuration, SimInstant};

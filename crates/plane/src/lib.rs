@@ -16,23 +16,33 @@
 //! * [`router`] — consistent-hash routing of shards onto replicas with a
 //!   deterministic hedge to the ring successor when the primary's
 //!   estimated wait is too long.
-//! * [`engine`] — the event-driven [`RequestPlane`]: dispatches
-//!   priority-ordered batches to N [`EmbedServer`] replicas, charges
-//!   front-to-replica RPCs through the shared
+//! * [`engine`] — the round-based [`RequestPlane`]: a sequential front
+//!   admits and routes each quantum of arrivals, then every replica runs
+//!   its *own* event loop concurrently on the persistent `omega-par`
+//!   pool (priority-ordered batches, deadline triage, `serve_batch`),
+//!   and completions merge back in fixed `(sim_time, replica, seq)`
+//!   order. Front-to-replica RPCs are charged through the shared
 //!   [`NetModel`](omega_hetmem::NetModel) (the same link parameters the
-//!   distributed baselines use), and applies SLO-aware deadline
-//!   scheduling — late work is dropped or degraded (halved `k`, or a
-//!   point lookup instead of a scan), never queued unboundedly.
+//!   distributed baselines use); late work is dropped or degraded
+//!   (halved `k` and `nprobe`, or a point lookup instead of a scan),
+//!   never queued unboundedly. The degrade ladder and router price work
+//!   from *live* replica signals — cost EWMAs corrected by real IVF
+//!   probe counts and inflated by the measured cache miss rate — and
+//!   [`Outage`] windows steer traffic around dead replicas until they
+//!   recover.
 //!
 //! ## Determinism
 //!
 //! Same seed ⇒ byte-identical metrics JSONL at any wall-thread count.
 //! Arrival and routing draws are keyed SplitMix64 streams over
 //! `(seed, tenant, request index)` and `(replica, vnode)` — pure
-//! functions of *what* is processed, never of scheduling. The engine
-//! loop is sequential over simulated events; the replicas' worker pools
-//! (the [`ServeConfig::threads`] knob) change wall time only. Every
-//! admitted request reaches exactly one terminal state, so
+//! functions of *what* is processed, never of scheduling. Each replica
+//! lane reads only its own simulated state, its fault stream is keyed by
+//! what it processes (never by which worker ran it), and the caller
+//! merges lane events in a fixed total order before any counter or
+//! histogram is touched — so the concurrent lanes (and the replicas'
+//! worker pools, the [`ServeConfig::threads`] knob) change wall time
+//! only. Every admitted request reaches exactly one terminal state, so
 //! `admitted == completed + degraded + dropped` — the identity the
 //! integration suite pins alongside golden metrics bytes.
 //!
@@ -65,7 +75,7 @@ pub mod router;
 
 pub use admission::{Admission, TokenBucket, Verdict};
 pub use arrivals::{generate_timeline, ArrivalProcess, PlaneRequest, Priority, TenantSpec};
-pub use engine::{PlaneConfig, PlaneReport, PlaneStats, RequestPlane};
+pub use engine::{Outage, PlaneConfig, PlaneReport, PlaneStats, PlaneTrace, RequestPlane};
 pub use router::Ring;
 
 // Doc-link anchors used by the crate docs above.

@@ -81,6 +81,29 @@ impl Ring {
         }
         owner
     }
+
+    /// The key's replica preference order: every distinct replica in ring
+    /// order starting from the key's arc. `preference(key)[0]` is the
+    /// primary, `[1]` the hedge successor; failure steering walks further
+    /// down the list, so routing around an outage is a pure function of
+    /// the ring and the set of live replicas — not of when the outage was
+    /// noticed.
+    pub fn preference(&self, key: u64) -> Vec<u32> {
+        let start = self.successor_index(key_hash(key));
+        let mut order = Vec::with_capacity(self.replicas as usize);
+        let mut seen = vec![false; self.replicas as usize];
+        for step in 0..self.points.len() {
+            let (_, r) = self.points[(start + step) % self.points.len()];
+            if !seen[r as usize] {
+                seen[r as usize] = true;
+                order.push(r);
+                if order.len() == self.replicas as usize {
+                    break;
+                }
+            }
+        }
+        order
+    }
 }
 
 #[cfg(test)]
@@ -139,6 +162,22 @@ mod tests {
                 "seed {seed}: 16 shards on {distinct} replicas"
             );
         }
+    }
+
+    #[test]
+    fn preference_lists_every_replica_and_agrees_with_primary_successor() {
+        let ring = Ring::new(4, 16, 11);
+        for key in 0..1000u64 {
+            let pref = ring.preference(key);
+            assert_eq!(pref.len(), 4);
+            let mut sorted = pref.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3], "preference must be a permutation");
+            assert_eq!(pref[0], ring.primary(key));
+            assert_eq!(pref[1], ring.successor(key));
+        }
+        let single = Ring::new(1, 16, 11);
+        assert_eq!(single.preference(9), vec![0]);
     }
 
     #[test]

@@ -68,6 +68,8 @@ pub use ivf::{auto_nlist, default_nprobe, IndexMode, IvfIndex};
 /// from [`omega_par`] — one pool implementation serves the serving, SpMM,
 /// dense-kernel and walk paths alike.
 pub use omega_par as pool;
-pub use server::{BatchResult, EmbedServer, Response, ServeConfig, ServeReport, ServeStats};
+pub use server::{
+    BatchResult, EmbedServer, Response, ServeConfig, ServeReport, ServeSignals, ServeStats,
+};
 pub use store::ShardedStore;
 pub use workload::{Popularity, Request, RequestKind, RequestStream, WorkloadConfig};

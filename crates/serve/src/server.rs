@@ -225,6 +225,21 @@ impl ServeStats {
     }
 }
 
+/// Snapshot of the live signals a replica exposes to the request plane's
+/// closed admission loop. Derived purely from simulated state, so the
+/// values are identical at every wall-thread count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeSignals {
+    /// Cumulative DRAM cache hit rate over Get traffic (0 when untouched).
+    pub hit_rate: f64,
+    /// Top-k queries answered through the IVF probe path so far.
+    pub ivf_queries: u64,
+    /// Inverted lists visited by those queries.
+    pub ivf_probes: u64,
+    /// Configured probe width, when an IVF index is mounted.
+    pub nprobe: Option<usize>,
+}
+
 /// Result of [`EmbedServer::run`]: stats, latency distributions on both
 /// clocks, and the run's memory-traffic summary.
 #[derive(Debug, Clone)]
@@ -435,6 +450,19 @@ impl EmbedServer {
 
     pub fn stats(&self) -> &ServeStats {
         &self.stats
+    }
+
+    /// Live serving-tier signals for the request plane's closed admission
+    /// loop: cumulative cache hit rate plus IVF probe accounting, so the
+    /// plane can price top-k work from what this replica actually did
+    /// instead of static priors.
+    pub fn signals(&self) -> ServeSignals {
+        ServeSignals {
+            hit_rate: self.stats.hit_rate(),
+            ivf_queries: self.stats.ivf_queries,
+            ivf_probes: self.stats.ivf_probes,
+            nprobe: self.ivf.as_ref().map(|ivf| ivf.nprobe()),
+        }
     }
 
     /// Total simulated time spent serving so far.

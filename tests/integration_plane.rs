@@ -1,23 +1,36 @@
 //! Integration tests for `omega-plane` — the admission-controlled request
-//! plane over a replicated serving tier.
+//! plane over a replicated serving tier with concurrent per-replica event
+//! loops.
 //!
-//! Pins the subsystem's three contracts:
+//! Pins the subsystem's four contracts:
 //!
 //! 1. **Determinism** — per seed, the full metrics JSONL export is
-//!    byte-identical at any wall-thread count, at every replica count, and
-//!    the arrival processes themselves are pure functions of the seed
-//!    (property-tested across process shapes).
-//! 2. **Bounded overload** — past saturation the *served* p99 stays within
+//!    byte-identical at any wall-thread count, at every replica count,
+//!    fault-free and under fault plans (golden snapshots under
+//!    `tests/golden/`), and the arrival processes themselves are pure
+//!    functions of the seed (property-tested across process shapes).
+//! 2. **Partition** — the per-replica dispatch streams exactly partition
+//!    the admitted set, and the streams are identical at every
+//!    wall-thread count (property-tested across seeds and replica
+//!    counts).
+//! 3. **Bounded overload** — past saturation the *served* p99 stays within
 //!    a few deadlines; the excess shows up in the drop / degrade / reject
 //!    counters instead of an unbounded queue.
-//! 3. **Accounting identities** — `offered = admitted + rejected_quota +
+//! 4. **Accounting identities** — `offered = admitted + rejected_quota +
 //!    rejected_queue`, `admitted = completed + degraded + dropped` and
-//!    `degraded = reduced_k + to_get`, per tenant and in aggregate.
+//!    `degraded = reduced_k + to_get`, per tenant and in aggregate — also
+//!    while a replica-wide outage kills and recovers a replica mid-run.
+//!
+//! The chaos CI matrix re-runs this suite with `OMEGA_FAULT_SEED` set;
+//! non-golden fault tests draw their plan seed from it, golden tests pin
+//! seed 1729 so the committed bytes never depend on the environment.
 
 use omega_plane::{
-    generate_timeline, ArrivalProcess, PlaneConfig, PlaneReport, Priority, RequestPlane, TenantSpec,
+    generate_timeline, ArrivalProcess, Outage, PlaneConfig, PlaneReport, PlaneTrace, Priority,
+    RequestPlane, TenantSpec,
 };
 use proptest::prelude::*;
+use std::path::PathBuf;
 
 use omega_embed::Embedding;
 use omega_hetmem::{DeviceKind, MemSystem, SimDuration, Topology};
@@ -25,6 +38,40 @@ use omega_obs::Recorder;
 use omega_serve::{Popularity, ServeConfig, WorkloadConfig};
 
 const HORIZON_S: f64 = 0.05;
+
+/// Fault-plan seed for the non-golden chaos tests: the CI matrix varies
+/// `OMEGA_FAULT_SEED`; locally the default keeps runs reproducible.
+fn plan_seed() -> u64 {
+    std::env::var("OMEGA_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1729)
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/golden")
+        .join(name)
+}
+
+/// Compare `got` against the committed snapshot, or rewrite the snapshot
+/// when `OMEGA_UPDATE_GOLDEN=1`.
+fn assert_golden(name: &str, got: &str) {
+    let path = golden_path(name);
+    if std::env::var("OMEGA_UPDATE_GOLDEN").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden {name} ({e}); bless with OMEGA_UPDATE_GOLDEN=1")
+    });
+    assert_eq!(
+        got, want,
+        "{name} drifted from the committed snapshot; if the change is \
+         intentional, bless it with OMEGA_UPDATE_GOLDEN=1 and commit the diff"
+    );
+}
 
 fn tenant_mix(rate: f64) -> Vec<TenantSpec> {
     let wl = WorkloadConfig::lookups(512, Popularity::Zipf { s: 1.0 }, 3).with_topk(0.2, 8);
@@ -35,14 +82,16 @@ fn tenant_mix(rate: f64) -> Vec<TenantSpec> {
 }
 
 /// Build a small plane over `replicas` replicas and run the two-tenant mix,
-/// returning the report plus the metrics JSONL export.
+/// returning the report, the metrics JSONL export, and the plane itself
+/// (for per-replica server stats).
 fn run_plane(
     replicas: usize,
     threads: usize,
     seed: u64,
     rate: f64,
     fault_plan: Option<omega_faults::FaultPlanSpec>,
-) -> (PlaneReport, String) {
+    outages: &[Outage],
+) -> (PlaneReport, String, RequestPlane) {
     let emb = Embedding::from_row_major(512, 8, vec![0.25; 512 * 8]);
     let systems: Vec<MemSystem> = (0..replicas)
         .map(|_| {
@@ -63,43 +112,105 @@ fn run_plane(
     let rec = Recorder::enabled();
     let mut plane = RequestPlane::new(&systems, &emb, serve_cfg, cfg)
         .unwrap()
-        .with_recorder(&rec);
+        .with_recorder(&rec)
+        .with_outages(outages);
     let report = plane.run(&tenant_mix(rate));
-    (report, rec.metrics_jsonl())
+    (report, rec.metrics_jsonl(), plane)
+}
+
+/// Like [`run_plane`] but fault-free and recording the per-replica
+/// dispatch streams.
+fn run_plane_traced(
+    replicas: usize,
+    threads: usize,
+    seed: u64,
+    rate: f64,
+) -> (PlaneReport, PlaneTrace) {
+    let emb = Embedding::from_row_major(512, 8, vec![0.25; 512 * 8]);
+    let systems: Vec<MemSystem> = (0..replicas)
+        .map(|_| MemSystem::new(Topology::paper_machine_scaled(8 << 20)))
+        .collect();
+    let serve_cfg = ServeConfig::new(8 << 10)
+        .rows_per_shard(32)
+        .batch_size(16)
+        .threads(threads);
+    let cfg = PlaneConfig::new(replicas)
+        .seed(seed)
+        .horizon(SimDuration::from_secs_f64(HORIZON_S));
+    let mut plane = RequestPlane::new(&systems, &emb, serve_cfg, cfg).unwrap();
+    plane.run_traced(&tenant_mix(rate))
 }
 
 /// The acceptance pin: per seed, the metrics JSONL is byte-identical
-/// across wall-thread counts 1 and 8, at replica counts 1 and 4.
+/// across wall-thread counts 1 and 8, at replica counts 1 and 4, with the
+/// concurrent replica loops enabled.
 #[test]
 fn metrics_byte_identical_across_wall_threads_and_replica_counts() {
     for replicas in [1usize, 4] {
-        let (r1, m1) = run_plane(replicas, 1, 42, 20_000.0, None);
-        let (r8, m8) = run_plane(replicas, 8, 42, 20_000.0, None);
+        let (r1, m1, _) = run_plane(replicas, 1, 42, 20_000.0, None, &[]);
+        let (r8, m8, _) = run_plane(replicas, 8, 42, 20_000.0, None, &[]);
         assert!(!m1.is_empty());
         assert_eq!(
             m1, m8,
             "{replicas} replica(s): metrics JSONL must not depend on the wall-thread count"
         );
         assert_eq!(r1.stats, r8.stats);
-        assert_eq!(r1.latency_ns, r8.latency_ns);
-        assert_eq!(r1.queue_wait_ns, r8.queue_wait_ns);
+        assert_eq!(r1.latency, r8.latency);
+        assert_eq!(r1.queue_wait, r8.queue_wait);
     }
+}
+
+/// Golden snapshot: the full metrics JSONL of the fixed-seed fault-free
+/// run, produced at 8 wall threads and proven equal to the 1-thread run.
+#[test]
+fn plane_metrics_parallel_match_golden() {
+    let (_, m1, _) = run_plane(2, 1, 42, 20_000.0, None, &[]);
+    let (_, m8, _) = run_plane(2, 8, 42, 20_000.0, None, &[]);
+    assert_eq!(m1, m8, "plane metrics must not depend on wall threads");
+    assert_golden("plane_metrics_parallel.jsonl", &m8);
+}
+
+/// Golden snapshot: the same fixed-seed run under a fault plan (PM
+/// timeouts on every replica) plus a replica-1 outage window — the
+/// steered-routing and fault-retry bytes are pinned too. Seed 1729 is
+/// deliberately literal: goldens must not depend on `OMEGA_FAULT_SEED`.
+#[test]
+fn plane_metrics_parallel_faulted_match_golden() {
+    let spec = || {
+        omega_faults::FaultPlanSpec::new(1729)
+            .with_timeout(DeviceKind::Pm, 0.05, 50_000)
+            .with_outage(1, 10_000_000, 30_000_000)
+    };
+    let outages: Vec<Outage> = spec()
+        .outages()
+        .into_iter()
+        .map(|(replica, from_ns, until_ns)| Outage {
+            replica,
+            from_ns,
+            until_ns,
+        })
+        .collect();
+    let (r1, m1, _) = run_plane(2, 1, 42, 20_000.0, Some(spec()), &outages);
+    let (_, m8, _) = run_plane(2, 8, 42, 20_000.0, Some(spec()), &outages);
+    assert_eq!(m1, m8, "faulted plane metrics must not depend on threads");
+    assert!(r1.stats.identity_holds(), "{:?}", r1.stats);
+    assert!(r1.stats.rerouted_outage > 0, "{:?}", r1.stats);
+    assert_golden("plane_metrics_parallel_faulted.jsonl", &m8);
 }
 
 #[test]
 fn different_seeds_give_different_timelines() {
-    let (a, _) = run_plane(2, 1, 1, 20_000.0, None);
-    let (b, _) = run_plane(2, 1, 2, 20_000.0, None);
-    assert_ne!(
-        (a.stats.offered, a.latency_ns),
-        (b.stats.offered, b.latency_ns),
+    let (a, _, _) = run_plane(2, 1, 1, 20_000.0, None, &[]);
+    let (b, _, _) = run_plane(2, 1, 2, 20_000.0, None, &[]);
+    assert!(
+        a.stats.offered != b.stats.offered || a.latency != b.latency,
         "the seed must actually steer the arrival draws"
     );
 }
 
 #[test]
 fn accounting_identities_hold_per_tenant_and_in_aggregate() {
-    let (report, _) = run_plane(2, 1, 42, 30_000.0, None);
+    let (report, _, _) = run_plane(2, 1, 42, 30_000.0, None, &[]);
     for (label, s) in std::iter::once(("aggregate", &report.stats)).chain(
         report
             .per_tenant
@@ -128,8 +239,8 @@ fn accounting_identities_hold_per_tenant_and_in_aggregate() {
     assert_eq!(summed, report.stats.offered);
     // One latency / wait sample per served request.
     let served = report.stats.completed + report.stats.degraded;
-    assert_eq!(report.latency_ns.len() as u64, served);
-    assert_eq!(report.queue_wait_ns.len() as u64, served);
+    assert_eq!(report.latency.count(), served);
+    assert_eq!(report.queue_wait.count(), served);
 }
 
 /// Overload contract: with offered load far past capacity and a tight SLO,
@@ -241,12 +352,15 @@ fn degrade_ladder_halves_nprobe_on_ivf_replicas() {
 
 /// The plane composes with the fault layer: a timeout plan installed on
 /// every replica steers the servers' internal hedge machinery without
-/// breaking determinism or the accounting identities.
+/// breaking determinism or the accounting identities. The plan seed comes
+/// from `OMEGA_FAULT_SEED` so the CI chaos matrix exercises several
+/// schedules.
 #[test]
 fn fault_plan_on_replicas_is_deterministic_and_keeps_identities() {
-    let spec = || omega_faults::FaultPlanSpec::new(1729).with_timeout(DeviceKind::Pm, 0.05, 50_000);
-    let (ra, ma) = run_plane(2, 1, 42, 20_000.0, Some(spec()));
-    let (rb, mb) = run_plane(2, 8, 42, 20_000.0, Some(spec()));
+    let spec =
+        || omega_faults::FaultPlanSpec::new(plan_seed()).with_timeout(DeviceKind::Pm, 0.05, 50_000);
+    let (ra, ma, _) = run_plane(2, 1, 42, 20_000.0, Some(spec()), &[]);
+    let (rb, mb, _) = run_plane(2, 8, 42, 20_000.0, Some(spec()), &[]);
     assert_eq!(
         ma, mb,
         "fault injection must stay on the simulated clock: same plan, same bytes"
@@ -255,8 +369,54 @@ fn fault_plan_on_replicas_is_deterministic_and_keeps_identities() {
     assert_eq!(ra.stats, rb.stats);
     // The plan actually fired: without faults the same run serves more
     // cheaply, so the two metric exports must differ.
-    let (_, clean) = run_plane(2, 1, 42, 20_000.0, None);
+    let (_, clean, _) = run_plane(2, 1, 42, 20_000.0, None, &[]);
     assert_ne!(ma, clean, "the timeout plan must be observable");
+}
+
+/// Replica-failure chaos: a whole replica goes down from the start of the
+/// run and comes back at 30 ms (inside the 50 ms horizon), while a
+/// timeout plan (seeded from the chaos matrix) harasses the memory path.
+/// The ring steers its traffic to the survivor, the accounting identities
+/// hold, recovery restores routing to the revived replica, and the
+/// metrics stay byte-identical across wall-thread counts.
+#[test]
+fn replica_outage_chaos_reroutes_and_recovers() {
+    let spec = || {
+        omega_faults::FaultPlanSpec::new(plan_seed())
+            .with_timeout(DeviceKind::Pm, 0.05, 50_000)
+            .with_outage(0, 0, 30_000_000)
+    };
+    let outages: Vec<Outage> = spec()
+        .outages()
+        .into_iter()
+        .map(|(replica, from_ns, until_ns)| Outage {
+            replica,
+            from_ns,
+            until_ns,
+        })
+        .collect();
+    let (r1, m1, plane1) = run_plane(2, 1, 42, 30_000.0, Some(spec()), &outages);
+    let (r8, m8, _) = run_plane(2, 8, 42, 30_000.0, Some(spec()), &outages);
+    assert_eq!(m1, m8, "chaos metrics must not depend on wall threads");
+    assert_eq!(r1.stats, r8.stats);
+    assert!(r1.stats.identity_holds(), "{:?}", r1.stats);
+    assert!(
+        r1.stats.rerouted_outage > 0,
+        "the dead replica's traffic must steer to the survivor: {:?}",
+        r1.stats
+    );
+    assert!(
+        r1.stats.completed > 0,
+        "the surviving replica must keep serving: {:?}",
+        r1.stats
+    );
+    // Replica 0 was down from t=0: every request it served arrived after
+    // the outage lifted, proving recovery restored the ring routing.
+    assert!(
+        plane1.servers()[0].stats().requests > 0,
+        "recovery must restore routing to the revived replica"
+    );
+    assert!(plane1.servers()[1].stats().requests > 0);
 }
 
 fn process_strategy() -> impl Strategy<Value = ArrivalProcess> {
@@ -352,5 +512,50 @@ proptest! {
                 .collect();
             prop_assert_eq!(solo, merged, "tenant {}'s stream must survive the merge intact", ti);
         }
+    }
+}
+
+proptest! {
+    // Full plane runs are expensive; a handful of randomized shapes is
+    // enough on top of the fixed-seed byte-equality pins above.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The per-replica dispatch streams exactly partition the admitted
+    /// set — every admitted request appears in exactly one stream, with
+    /// its tie-break pinned: the streams (and hence the merged
+    /// `(event_ns, replica, seq)` event order) are identical at 1 and 8
+    /// wall threads.
+    #[test]
+    fn dispatch_streams_partition_the_admitted_set(
+        seed in 0u64..1_000,
+        replicas in 1usize..5,
+        rate in 10_000.0..40_000.0f64,
+    ) {
+        let (report, trace) = run_plane_traced(replicas, 1, seed, rate);
+        prop_assert!(report.stats.identity_holds());
+        prop_assert_eq!(trace.streams.len(), replicas);
+
+        // Exact partition: the union of the streams is the admitted set,
+        // with no request duplicated or lost.
+        let mut union: Vec<u64> = trace
+            .streams
+            .iter()
+            .flat_map(|s| s.iter().map(|&(_, seq)| seq))
+            .collect();
+        union.sort_unstable();
+        let mut admitted = trace.admitted.clone();
+        admitted.sort_unstable();
+        prop_assert!(
+            admitted.windows(2).all(|w| w[0] < w[1]),
+            "admitted ordinals must be unique"
+        );
+        prop_assert_eq!(&union, &admitted, "streams must partition the admitted set");
+        prop_assert_eq!(union.len() as u64, report.stats.admitted);
+
+        // Tie-break pinned: the same run at 8 wall threads produces the
+        // identical streams, element for element.
+        let (report8, trace8) = run_plane_traced(replicas, 8, seed, rate);
+        prop_assert_eq!(report.stats, report8.stats);
+        prop_assert_eq!(trace, trace8, "dispatch streams must not depend on wall threads");
     }
 }
